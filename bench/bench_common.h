@@ -1,0 +1,219 @@
+// Shared infrastructure for the figure/table reproduction benches.
+//
+// Every binary regenerates one table or figure of the paper's evaluation (see DESIGN.md's
+// per-experiment index). Datasets are scaled down from the paper's 60 M items so each binary
+// finishes in seconds; computing-side budgets (cache, hotspot buffer) are scaled by the same
+// ratio so cache-pressure effects reproduce. Set CHIME_SCALE=<multiplier> to grow the run
+// (e.g. CHIME_SCALE=10 for 4 M items), CHIME_THREADS to change worker threads.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/chime_index.h"
+#include "src/baselines/rolex.h"
+#include "src/baselines/sherman.h"
+#include "src/baselines/smart.h"
+#include "src/dmsim/pool.h"
+#include "src/dmsim/throughput_model.h"
+#include "src/ycsb/runner.h"
+
+namespace bench {
+
+struct Env {
+  uint64_t items = 400000;
+  uint64_t ops = 200000;
+  int threads = 8;
+  int num_cns = 10;  // paper testbed: 10 CNs
+  // Dataset ratio vs the paper's 60 M items; computing-side budgets scale with it.
+  double ratio() const { return static_cast<double>(items) / 60e6; }
+  size_t ScaledBytes(double paper_mb) const {
+    const double bytes = paper_mb * 1048576.0 * ratio();
+    return bytes < 4096 ? 4096 : static_cast<size_t>(bytes);
+  }
+};
+
+inline Env GetEnv() {
+  Env env;
+  double scale = 1.0;
+  if (const char* s = std::getenv("CHIME_SCALE")) {
+    scale = std::atof(s);
+    if (scale <= 0) {
+      scale = 1.0;
+    }
+  }
+  env.items = static_cast<uint64_t>(static_cast<double>(env.items) * scale);
+  env.ops = static_cast<uint64_t>(static_cast<double>(env.ops) * scale);
+  const unsigned hw = std::thread::hardware_concurrency();
+  env.threads = hw >= 16 ? 8 : (hw >= 4 ? static_cast<int>(hw) / 2 : 2);
+  if (const char* t = std::getenv("CHIME_THREADS")) {
+    const int n = std::atoi(t);
+    if (n > 0) {
+      env.threads = n;
+    }
+  }
+  return env;
+}
+
+// Memory-pool configs matching the paper's two topologies.
+inline dmsim::SimConfig OneMemoryNode() {
+  dmsim::SimConfig cfg;
+  cfg.num_memory_nodes = 1;
+  cfg.region_bytes_per_mn = 6ULL << 30;
+  cfg.chunk_bytes = 4ULL << 20;
+  return cfg;
+}
+
+inline dmsim::SimConfig TenMemoryNodes() {
+  dmsim::SimConfig cfg = OneMemoryNode();
+  cfg.num_memory_nodes = 10;
+  cfg.region_bytes_per_mn = 1ULL << 30;
+  return cfg;
+}
+
+// The client-count sweep used by the throughput/latency curves (paper sweeps up to 640+).
+inline std::vector<int> ClientSweep() { return {40, 80, 160, 240, 320, 480, 640, 800, 1024}; }
+
+// ---- Index factory ---------------------------------------------------------------------------
+
+enum class IndexKind { kChime, kSherman, kSmart, kSmartOpt, kRolex, kChimeLearned };
+
+inline const char* KindName(IndexKind k) {
+  switch (k) {
+    case IndexKind::kChime:
+      return "CHIME";
+    case IndexKind::kSherman:
+      return "Sherman";
+    case IndexKind::kSmart:
+      return "SMART";
+    case IndexKind::kSmartOpt:
+      return "SMART-Opt";
+    case IndexKind::kRolex:
+      return "ROLEX";
+    case IndexKind::kChimeLearned:
+      return "CHIME-Learned";
+  }
+  return "?";
+}
+
+struct IndexTweaks {
+  bool indirect = false;
+  int indirect_block_bytes = 64;
+  int value_bytes = 8;
+  int key_bytes = 8;
+  int span = 64;           // CHIME/Sherman span
+  int neighborhood = 8;    // CHIME neighborhood
+  double cache_mb = 100;   // per-CN cache budget at paper scale
+  double hotspot_mb = 30;  // CHIME hotspot buffer at paper scale
+  bool speculative = true;
+  bool piggyback = true;
+  bool replication = true;
+  bool sibling_validation = true;
+};
+
+inline std::unique_ptr<baselines::RangeIndex> MakeIndex(IndexKind kind,
+                                                        dmsim::MemoryPool* pool,
+                                                        const Env& env,
+                                                        const IndexTweaks& tweaks = {}) {
+  switch (kind) {
+    case IndexKind::kChime: {
+      chime::ChimeOptions o;
+      o.span = tweaks.span;
+      o.neighborhood = tweaks.neighborhood;
+      o.key_bytes = tweaks.key_bytes;
+      o.value_bytes = tweaks.value_bytes;
+      o.indirect_values = tweaks.indirect;
+      o.indirect_block_bytes = tweaks.indirect_block_bytes;
+      o.cache_bytes = env.ScaledBytes(tweaks.cache_mb);
+      o.hotspot_buffer_bytes = env.ScaledBytes(tweaks.hotspot_mb);
+      o.speculative_read = tweaks.speculative;
+      o.vacancy_piggyback = tweaks.piggyback;
+      o.metadata_replication = tweaks.replication;
+      o.sibling_validation = tweaks.sibling_validation;
+      return std::make_unique<baselines::ChimeIndex>(pool, o);
+    }
+    case IndexKind::kSherman: {
+      baselines::ShermanOptions o;
+      o.span = tweaks.span;
+      o.key_bytes = tweaks.key_bytes;
+      o.value_bytes = tweaks.value_bytes;
+      o.indirect_values = tweaks.indirect;
+      o.indirect_block_bytes = tweaks.indirect_block_bytes;
+      o.cache_bytes = env.ScaledBytes(tweaks.cache_mb);
+      return std::make_unique<baselines::ShermanTree>(pool, o);
+    }
+    case IndexKind::kSmart:
+    case IndexKind::kSmartOpt: {
+      baselines::SmartOptions o;
+      o.indirect_values = tweaks.indirect;
+      o.indirect_block_bytes = tweaks.indirect_block_bytes;
+      o.cache_bytes = kind == IndexKind::kSmartOpt ? (4ULL << 30)
+                                                   : env.ScaledBytes(tweaks.cache_mb);
+      return std::make_unique<baselines::SmartTree>(pool, o);
+    }
+    case IndexKind::kRolex:
+    case IndexKind::kChimeLearned: {
+      baselines::RolexOptions o;
+      o.key_bytes = tweaks.key_bytes;
+      o.value_bytes = tweaks.value_bytes;
+      o.indirect_values = tweaks.indirect;
+      o.indirect_block_bytes = tweaks.indirect_block_bytes;
+      o.hopscotch_leaf = kind == IndexKind::kChimeLearned;
+      o.neighborhood = tweaks.neighborhood;
+      return std::make_unique<baselines::RolexIndex>(pool, o);
+    }
+  }
+  return nullptr;
+}
+
+// ---- Output helpers ---------------------------------------------------------------------------
+
+inline void Title(const std::string& what, const std::string& paper_ref,
+                  const std::string& note) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s  [%s]\n", what.c_str(), paper_ref.c_str());
+  if (!note.empty()) {
+    std::printf("%s\n", note.c_str());
+  }
+  std::printf("================================================================================\n");
+}
+
+inline void PrintEnv(const Env& env) {
+  std::printf("dataset=%llu items, ops=%llu, worker threads=%d, modeled CNs=%d, "
+              "budget scale=%.5f of paper\n",
+              static_cast<unsigned long long>(env.items),
+              static_cast<unsigned long long>(env.ops), env.threads, env.num_cns,
+              env.ratio());
+}
+
+// Runs one workload on a fresh pool+index and returns {run, pool-config}.
+struct WorkloadRun {
+  ycsb::RunResult run;
+  dmsim::SimConfig config;
+};
+
+inline WorkloadRun RunOn(IndexKind kind, const ycsb::WorkloadMix& mix, const Env& env,
+                         const dmsim::SimConfig& cfg, const IndexTweaks& tweaks = {},
+                         bool load_items = true) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(cfg);
+  auto index = MakeIndex(kind, pool.get(), env, tweaks);
+  ycsb::RunnerOptions opts;
+  opts.num_items = load_items ? env.items : 0;
+  opts.num_ops = env.ops;
+  opts.threads = env.threads;
+  opts.num_cns = env.num_cns;
+  WorkloadRun result;
+  result.run = ycsb::RunWorkload(index.get(), pool.get(), mix, opts);
+  result.config = cfg;
+  return result;
+}
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_COMMON_H_

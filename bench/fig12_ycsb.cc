@@ -1,0 +1,53 @@
+// Figure 12: throughput-latency curves of the four DM range indexes under the six YCSB
+// workloads (A, B, C, D, E, LOAD), plus SMART-Opt (SMART with sufficient cache) as the
+// no-amplification upper bound.
+#include "bench/bench_common.h"
+
+namespace {
+
+using bench::Env;
+using bench::IndexKind;
+
+void RunWorkloadRow(const ycsb::WorkloadMix& mix, const Env& env) {
+  std::printf("\n--- YCSB %s ---\n", mix.name.c_str());
+  std::printf("%-14s %8s | %s\n", "index", "clients", "throughput(Mops)  p50(us)  p99(us)  bottleneck");
+  std::vector<IndexKind> kinds = {IndexKind::kChime, IndexKind::kSherman, IndexKind::kSmart,
+                                  IndexKind::kSmartOpt, IndexKind::kRolex};
+  if (mix.name == "LOAD") {
+    // The paper pre-trains ROLEX on all items and therefore does not run it on YCSB LOAD.
+    kinds.pop_back();
+  }
+  for (IndexKind kind : kinds) {
+    const bool load_items = mix.name != "LOAD";
+    bench::WorkloadRun wr =
+        bench::RunOn(kind, mix, env, bench::OneMemoryNode(), {}, load_items);
+    for (int clients : bench::ClientSweep()) {
+      const dmsim::ModelResult r = ycsb::Model(wr.run, wr.config, env.num_cns, clients);
+      std::printf("%-14s %8d | %12.2f %12.1f %8.1f  %s\n", bench::KindName(kind), clients,
+                  r.throughput_mops, r.p50_us, r.p99_us, r.bottleneck.c_str());
+    }
+    const dmsim::OpTypeStats d = wr.run.stats.Combined();
+    std::printf("%-14s   demand | rtts/op=%.2f bytes_read/op=%.0f bytes_written/op=%.0f "
+                "retries/op=%.3f\n",
+                bench::KindName(kind), d.AvgRtts(), d.AvgBytesRead(), d.AvgBytesWritten(),
+                d.ops ? static_cast<double>(d.retries) / static_cast<double>(d.ops) : 0.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Env env = bench::GetEnv();
+  bench::Title("Throughput-latency curves, 4 indexes x 6 YCSB workloads", "Figure 12",
+               "1 memory node; per-CN cache and hotspot budgets scaled from the paper's "
+               "100 MB / 30 MB by the dataset ratio.");
+  bench::PrintEnv(env);
+
+  RunWorkloadRow(ycsb::WorkloadC(), env);
+  RunWorkloadRow(ycsb::WorkloadLoad(), env);
+  RunWorkloadRow(ycsb::WorkloadD(), env);
+  RunWorkloadRow(ycsb::WorkloadA(), env);
+  RunWorkloadRow(ycsb::WorkloadB(), env);
+  RunWorkloadRow(ycsb::WorkloadE(), env);
+  return 0;
+}

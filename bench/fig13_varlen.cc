@@ -1,0 +1,57 @@
+// Figure 13: the comparison with variable-length KV items supported — CHIME-Indirect,
+// Marlin (the Sherman-lineage write-optimized B+ tree with out-of-node values), SMART-RCU,
+// and ROLEX-Indirect, under 320 clients.
+#include "bench/bench_common.h"
+
+namespace {
+
+using bench::Env;
+using bench::IndexKind;
+
+const char* IndirectName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kChime:
+      return "CHIME-Indirect";
+    case IndexKind::kSherman:
+      return "Marlin";
+    case IndexKind::kSmart:
+      return "SMART-RCU";
+    case IndexKind::kRolex:
+      return "ROLEX-Indirect";
+    default:
+      return bench::KindName(kind);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Env env = bench::GetEnv();
+  bench::Title("Variable-length KV items (indirect values), 320 clients", "Figure 13",
+               "Every index stores {key, pointer} in-node and the KV in a 64 B out-of-node "
+               "block (paper §4.5).");
+  bench::PrintEnv(env);
+  constexpr int kClients = 320;
+
+  for (const auto& mix : {ycsb::WorkloadC(), ycsb::WorkloadLoad(), ycsb::WorkloadD(),
+                          ycsb::WorkloadA(), ycsb::WorkloadB(), ycsb::WorkloadE()}) {
+    std::printf("\n--- YCSB %s ---\n", mix.name.c_str());
+    std::printf("%-16s %18s %10s %10s\n", "index", "throughput(Mops)", "p50(us)", "p99(us)");
+    std::vector<IndexKind> kinds = {IndexKind::kChime, IndexKind::kSherman, IndexKind::kSmart,
+                                    IndexKind::kRolex};
+    if (mix.name == "LOAD") {
+      kinds.pop_back();
+    }
+    for (IndexKind kind : kinds) {
+      bench::IndexTweaks tweaks;
+      tweaks.indirect = true;
+      const bool load_items = mix.name != "LOAD";
+      bench::WorkloadRun wr =
+          bench::RunOn(kind, mix, env, bench::OneMemoryNode(), tweaks, load_items);
+      const dmsim::ModelResult r = ycsb::Model(wr.run, wr.config, env.num_cns, kClients);
+      std::printf("%-16s %18.2f %10.1f %10.1f\n", IndirectName(kind), r.throughput_mops,
+                  r.p50_us, r.p99_us);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 15: factor analysis — applying CHIME's techniques one by one to Sherman (15a) and
+// to ROLEX (15b, yielding CHIME-Learned), under 320 clients.
+#include "bench/bench_common.h"
+
+namespace {
+
+using bench::Env;
+using bench::IndexKind;
+
+struct Step {
+  const char* label;
+  IndexKind kind;
+  bench::IndexTweaks tweaks;
+};
+
+void RunChain(const char* title, const std::vector<Step>& steps, const Env& env) {
+  std::printf("\n--- %s ---\n", title);
+  for (const auto& mix :
+       {ycsb::WorkloadC(), ycsb::WorkloadLoad(), ycsb::WorkloadA(), ycsb::WorkloadE()}) {
+    std::printf("\nYCSB %s:\n%-28s %18s %10s %10s\n", mix.name.c_str(), "configuration",
+                "throughput(Mops)", "p50(us)", "p99(us)");
+    for (const Step& step : steps) {
+      if (mix.name == "LOAD" &&
+          (step.kind == IndexKind::kRolex || step.kind == IndexKind::kChimeLearned)) {
+        std::printf("%-28s %18s\n", step.label, "(skipped: pre-trained)");
+        continue;
+      }
+      const bool load_items = mix.name != "LOAD";
+      bench::WorkloadRun wr =
+          bench::RunOn(step.kind, mix, env, bench::OneMemoryNode(), step.tweaks, load_items);
+      const dmsim::ModelResult r = ycsb::Model(wr.run, wr.config, env.num_cns, 320);
+      std::printf("%-28s %18.2f %10.1f %10.1f\n", step.label, r.throughput_mops, r.p50_us,
+                  r.p99_us);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Env env = bench::GetEnv();
+  bench::Title("Factor analysis of CHIME's techniques, 320 clients", "Figure 15", "");
+  bench::PrintEnv(env);
+
+  // 15a: starting from Sherman.
+  bench::IndexTweaks hopscotch_only;
+  hopscotch_only.piggyback = false;
+  hopscotch_only.replication = false;
+  hopscotch_only.speculative = false;
+  bench::IndexTweaks with_piggyback = hopscotch_only;
+  with_piggyback.piggyback = true;
+  bench::IndexTweaks with_replication = with_piggyback;
+  with_replication.replication = true;
+  bench::IndexTweaks full;  // defaults: everything on
+
+  RunChain("Fig 15a: Sherman + CHIME techniques",
+           {{"Sherman", IndexKind::kSherman, {}},
+            {"+Hopscotch leaf", IndexKind::kChime, hopscotch_only},
+            {"+Vacancy piggybacking", IndexKind::kChime, with_piggyback},
+            {"+Metadata replication", IndexKind::kChime, with_replication},
+            {"+Speculative read (CHIME)", IndexKind::kChime, full}},
+           env);
+
+  // 15b: starting from ROLEX; the end point is CHIME-Learned.
+  RunChain("Fig 15b: ROLEX + CHIME techniques -> CHIME-Learned",
+           {{"ROLEX", IndexKind::kRolex, {}},
+            {"+Hopscotch leaf (CHIME-Learned)", IndexKind::kChimeLearned, {}},
+            {"CHIME (for comparison)", IndexKind::kChime, full}},
+           env);
+
+  std::printf("\nExpected shape (paper): hopscotch leaf helps all read paths (~2.3x on C); "
+              "vacancy piggybacking helps LOAD (~1.6x); metadata replication helps all "
+              "(~1.6x on C); CHIME beats CHIME-Learned.\n");
+  return 0;
+}

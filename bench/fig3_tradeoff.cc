@@ -1,0 +1,76 @@
+// Figure 3a-c: the trade-off between computing-side cache consumption and memory-side read
+// amplification, and its throughput consequences under limited bandwidth (1 MN, ample cache)
+// and limited cache (10 MNs, 100 MB cache).
+#include "bench/bench_common.h"
+
+namespace {
+
+using bench::Env;
+using bench::IndexKind;
+
+void Fig3a(const Env& env) {
+  std::printf("\n--- Fig 3a: amplification factor vs cache consumption (read-only touch) ---\n");
+  std::printf("%-14s %6s %14s %18s %22s\n", "index", "span", "amp.factor",
+              "cache used (MB)", "cache bytes per item");
+
+  struct Point {
+    IndexKind kind;
+    int span;
+    double amp;
+  };
+  std::vector<Point> points = {
+      {IndexKind::kSherman, 16, 16},  {IndexKind::kSherman, 64, 64},
+      {IndexKind::kSherman, 256, 256}, {IndexKind::kRolex, 16, 32},
+      {IndexKind::kSmart, 0, 1},       {IndexKind::kChime, 64, 8},
+  };
+  for (const Point& p : points) {
+    auto pool = std::make_unique<dmsim::MemoryPool>(bench::OneMemoryNode());
+    bench::IndexTweaks tweaks;
+    if (p.span > 0) {
+      tweaks.span = p.span;
+    }
+    tweaks.cache_mb = 100000;  // ample cache: measure intrinsic consumption
+    tweaks.hotspot_mb = 0.0001;
+    auto index = bench::MakeIndex(p.kind, pool.get(), env, tweaks);
+    ycsb::RunnerOptions opts;
+    opts.num_items = env.items;
+    opts.num_ops = env.ops;
+    opts.threads = env.threads;
+    ycsb::RunWorkload(index.get(), pool.get(), ycsb::WorkloadC(), opts);
+    const double mb = static_cast<double>(index->CacheConsumptionBytes()) / 1048576.0;
+    std::printf("%-14s %6d %14.0f %18.2f %22.2f\n", bench::KindName(p.kind), p.span, p.amp,
+                mb,
+                static_cast<double>(index->CacheConsumptionBytes()) /
+                    static_cast<double>(env.items));
+  }
+}
+
+void Sweep(const char* label, const dmsim::SimConfig& cfg, double cache_mb, const Env& env) {
+  std::printf("\n--- %s ---\n", label);
+  std::printf("%-10s %8s %18s %10s\n", "index", "clients", "throughput(Mops)", "p99(us)");
+  for (IndexKind kind :
+       {IndexKind::kChime, IndexKind::kSherman, IndexKind::kSmart, IndexKind::kRolex}) {
+    bench::IndexTweaks tweaks;
+    tweaks.cache_mb = cache_mb;
+    tweaks.hotspot_mb = cache_mb * 0.3;
+    bench::WorkloadRun wr = bench::RunOn(kind, ycsb::WorkloadC(), env, cfg, tweaks);
+    for (int clients : {80, 240, 480, 800}) {
+      const dmsim::ModelResult r = ycsb::Model(wr.run, wr.config, env.num_cns, clients);
+      std::printf("%-10s %8d %18.2f %10.1f\n", bench::KindName(kind), clients,
+                  r.throughput_mops, r.p99_us);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Env env = bench::GetEnv();
+  bench::Title("The cache-consumption / read-amplification trade-off", "Figure 3a-c", "");
+  bench::PrintEnv(env);
+  Fig3a(env);
+  Sweep("Fig 3b: limited bandwidth (1 MN, ample 1000 MB cache)", bench::OneMemoryNode(),
+        1000, env);
+  Sweep("Fig 3c: limited cache (10 MNs, 100 MB cache)", bench::TenMemoryNodes(), 100, env);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the simulated one-sided verb layer: the execution cost
+// of the simulator itself (host-side), useful for sizing bench scales.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/dmsim/client.h"
+#include "src/dmsim/pool.h"
+
+namespace {
+
+struct Fixture {
+  Fixture() : pool(Config()), client(&pool, 0) {
+    client.BeginOp();
+    base = client.Alloc(1 << 20, 64);
+    client.AbortOp();
+  }
+  static dmsim::SimConfig Config() {
+    dmsim::SimConfig cfg;
+    cfg.region_bytes_per_mn = 8ULL << 20;
+    cfg.chunk_bytes = 2ULL << 20;
+    return cfg;
+  }
+  dmsim::MemoryPool pool;
+  dmsim::Client client;
+  common::GlobalAddress base;
+};
+
+void BM_Read(benchmark::State& state) {
+  Fixture f;
+  const uint32_t bytes = static_cast<uint32_t>(state.range(0));
+  std::vector<uint8_t> buf(bytes);
+  f.client.BeginOp();
+  for (auto _ : state) {
+    f.client.Read(f.base, buf.data(), bytes);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  f.client.AbortOp();
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_Read)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Write(benchmark::State& state) {
+  Fixture f;
+  const uint32_t bytes = static_cast<uint32_t>(state.range(0));
+  std::vector<uint8_t> buf(bytes, 0x5A);
+  f.client.BeginOp();
+  for (auto _ : state) {
+    f.client.Write(f.base, buf.data(), bytes);
+  }
+  f.client.AbortOp();
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_Write)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_Cas(benchmark::State& state) {
+  Fixture f;
+  f.client.BeginOp();
+  uint64_t v = 0;
+  for (auto _ : state) {
+    v = f.client.Cas(f.base, v, v + 1);
+  }
+  f.client.AbortOp();
+}
+BENCHMARK(BM_Cas);
+
+void BM_MaskedCas(benchmark::State& state) {
+  Fixture f;
+  f.client.BeginOp();
+  for (auto _ : state) {
+    f.client.MaskedCas(f.base, 0, 1, 0x1, 0x1);
+    f.client.MaskedCas(f.base, 1, 0, 0x1, 0x1);
+  }
+  f.client.AbortOp();
+}
+BENCHMARK(BM_MaskedCas);
+
+void BM_ReadBatch(benchmark::State& state) {
+  Fixture f;
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<uint8_t>> bufs(static_cast<size_t>(n),
+                                         std::vector<uint8_t>(64));
+  std::vector<dmsim::BatchEntry> batch;
+  for (int i = 0; i < n; ++i) {
+    batch.push_back({f.base + static_cast<uint64_t>(i) * 128,
+                     bufs[static_cast<size_t>(i)].data(), 64});
+  }
+  f.client.BeginOp();
+  for (auto _ : state) {
+    f.client.ReadBatch(batch);
+  }
+  f.client.AbortOp();
+}
+BENCHMARK(BM_ReadBatch)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

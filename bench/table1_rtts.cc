@@ -1,0 +1,81 @@
+// Table 1: the number of round trips per CHIME operation, best case (internal nodes cached)
+// and worst case (nothing cached), measured against the paper's formulas.
+#include "bench/bench_common.h"
+
+namespace {
+
+void Report(const char* label, const dmsim::ClientStats& stats) {
+  static const char* kOpNames[] = {"Search", "Insert", "Update", "Delete", "Scan"};
+  std::printf("\n%s:\n%-10s %8s %8s %8s\n", label, "op", "min", "max", "avg");
+  for (int i = 0; i < 5; ++i) {
+    const dmsim::OpTypeStats& s = stats.per_op[static_cast<size_t>(i)];
+    if (s.ops == 0) {
+      continue;
+    }
+    std::printf("%-10s %8llu %8llu %8.2f\n", kOpNames[i],
+                static_cast<unsigned long long>(s.min_rtts_per_op),
+                static_cast<unsigned long long>(s.max_rtts_per_op), s.AvgRtts());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bench::Env env = bench::GetEnv();
+  bench::Title("Round trips per CHIME operation", "Table 1",
+               "Paper: Search 1-2 (best) / h+1..h+2 (worst); Insert 3 / h+3; "
+               "Update-Delete 3-4 / h+3..h+4; Scan 1 / h+1. Splits/retries excluded from the "
+               "paper's counts; min column is directly comparable.");
+  auto pool = std::make_unique<dmsim::MemoryPool>(bench::OneMemoryNode());
+  auto index = bench::MakeIndex(bench::IndexKind::kChime, pool.get(), env, {});
+  auto* chime_index = static_cast<baselines::ChimeIndex*>(index.get());
+
+  ycsb::RunnerOptions opts;
+  opts.num_items = env.items;
+  ycsb::LoadOnly(index.get(), pool.get(), opts);
+  std::printf("tree height h = %d internal level(s), %llu items\n",
+              chime_index->tree().height(),
+              static_cast<unsigned long long>(env.items));
+
+  // Best case: warm cache (the load already populated it), warm hotspot disabled to show the
+  // plain 2-RTT search; then with speculation for the 1-RTT case.
+  {
+    dmsim::Client client(pool.get(), 1);
+    common::Value v = 0;
+    std::vector<std::pair<common::Key, common::Value>> out;
+    for (uint64_t i = 0; i < 2000; ++i) {
+      const common::Key k = ycsb::KeySpace::KeyAt(i * 37 % env.items);
+      chime_index->Search(client, k, &v);
+    }
+    for (uint64_t i = 0; i < 500; ++i) {
+      chime_index->Insert(client, ycsb::KeySpace::KeyAt(env.items + i), i);
+      chime_index->Update(client, ycsb::KeySpace::KeyAt(i * 53 % env.items), i);
+      chime_index->Scan(client, ycsb::KeySpace::KeyAt(i * 11 % env.items), 50, &out);
+    }
+    for (uint64_t i = 0; i < 200; ++i) {
+      chime_index->tree().Delete(client, ycsb::KeySpace::KeyAt(env.items + i));
+    }
+    std::printf("\n(height now h = %d)", chime_index->tree().height());
+    Report("Best case (internal nodes cached)", client.stats());
+  }
+
+  // Worst case: cold cache and cold hotspot buffer for every operation.
+  {
+    dmsim::Client client(pool.get(), 2);
+    common::Value v = 0;
+    std::vector<std::pair<common::Key, common::Value>> out;
+    for (uint64_t i = 0; i < 300; ++i) {
+      chime_index->tree().cache().Clear();
+      chime_index->Search(client, ycsb::KeySpace::KeyAt(i * 37 % env.items), &v);
+      chime_index->tree().cache().Clear();
+      chime_index->Update(client, ycsb::KeySpace::KeyAt(i * 53 % env.items), i);
+      chime_index->tree().cache().Clear();
+      chime_index->Insert(client, ycsb::KeySpace::KeyAt(env.items + 1000 + i), i);
+      chime_index->tree().cache().Clear();
+      chime_index->Scan(client, ycsb::KeySpace::KeyAt(i * 11 % env.items), 50, &out);
+    }
+    std::printf("\n(height now h = %d)", chime_index->tree().height());
+    Report("Worst case (cold cache each op)", client.stats());
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// chime_cli: an interactive shell over a CHIME tree — handy for poking at the index and
+// watching per-operation costs live.
+//
+//   $ ./build/examples/chime_cli
+//   chime> put 42 4200
+//   chime> get 42
+//   4200                                  (1 RTT, 86 B read)
+//   chime> scan 40 5
+//   chime> del 42
+//   chime> vput user:42 hello-world      (variable-length API)
+//   chime> vget user:42
+//   chime> stats
+//   chime> help
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/tree.h"
+#include "src/dmsim/pool.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  put <key> <value>     insert/overwrite (integers, key != 0)\n"
+      "  get <key>             point lookup\n"
+      "  del <key>             delete\n"
+      "  scan <start> <n>      up to n items with key >= start\n"
+      "  vput <key> <value>    variable-length insert (strings)\n"
+      "  vget <key>            variable-length lookup\n"
+      "  vdel <key>            variable-length delete\n"
+      "  vscan <start> <n>     variable-length range scan\n"
+      "  stats                 per-op costs so far\n"
+      "  validate              check remote structural invariants\n"
+      "  help | quit\n");
+}
+
+void PrintStats(const dmsim::Client& client) {
+  static const char* kNames[] = {"search", "insert", "update", "delete", "scan", "other"};
+  std::printf("%-8s %8s %10s %12s %14s %9s\n", "op", "count", "rtts/op", "bytes-rd/op",
+              "bytes-wr/op", "retries");
+  for (int i = 0; i < dmsim::kNumOpTypes; ++i) {
+    const dmsim::OpTypeStats& s = client.stats().per_op[static_cast<size_t>(i)];
+    if (s.ops == 0) {
+      continue;
+    }
+    std::printf("%-8s %8llu %10.2f %12.0f %14.0f %9llu\n", kNames[i],
+                static_cast<unsigned long long>(s.ops), s.AvgRtts(), s.AvgBytesRead(),
+                s.AvgBytesWritten(), static_cast<unsigned long long>(s.retries));
+  }
+}
+
+}  // namespace
+
+int main() {
+  dmsim::SimConfig config;
+  config.region_bytes_per_mn = 1ULL << 30;
+  dmsim::MemoryPool pool(config);
+  chime::ChimeOptions options;
+  options.indirect_values = true;  // enables the variable-length commands too
+  options.indirect_block_bytes = 256;
+  options.cache_bytes = 8ULL << 20;
+  options.hotspot_buffer_bytes = 2ULL << 20;
+  chime::ChimeTree tree(&pool, options);
+  dmsim::Client client(&pool, 0);
+
+  std::printf("CHIME interactive shell — 'help' for commands\n");
+  std::string line;
+  while (std::printf("chime> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) {
+      continue;
+    }
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    }
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "put") {
+      common::Key k = 0;
+      common::Value v = 0;
+      if (in >> k >> v && k != 0) {
+        tree.Insert(client, k, v);
+        std::printf("ok\n");
+      } else {
+        std::printf("usage: put <key!=0> <value>\n");
+      }
+    } else if (cmd == "get") {
+      common::Key k = 0;
+      if (in >> k && k != 0) {
+        common::Value v = 0;
+        if (tree.Search(client, k, &v)) {
+          const auto& s = client.stats().For(dmsim::OpType::kSearch);
+          std::printf("%llu\n", static_cast<unsigned long long>(v));
+          std::printf("  (avg so far: %.2f RTTs, %.0f B read per search)\n", s.AvgRtts(),
+                      s.AvgBytesRead());
+        } else {
+          std::printf("(not found)\n");
+        }
+      }
+    } else if (cmd == "del") {
+      common::Key k = 0;
+      if (in >> k && k != 0) {
+        std::printf(tree.Delete(client, k) ? "deleted\n" : "(not found)\n");
+      }
+    } else if (cmd == "scan") {
+      common::Key start = 0;
+      size_t n = 0;
+      if (in >> start >> n && start != 0) {
+        std::vector<std::pair<common::Key, common::Value>> out;
+        tree.Scan(client, start, n, &out);
+        for (const auto& [k, v] : out) {
+          std::printf("  %llu -> %llu\n", static_cast<unsigned long long>(k),
+                      static_cast<unsigned long long>(v));
+        }
+        std::printf("(%zu items)\n", out.size());
+      }
+    } else if (cmd == "vput") {
+      std::string k;
+      std::string v;
+      if (in >> k >> v) {
+        tree.InsertVar(client, k, v);
+        std::printf("ok\n");
+      }
+    } else if (cmd == "vget") {
+      std::string k;
+      if (in >> k) {
+        std::string v;
+        std::printf(tree.SearchVar(client, k, &v) ? "%s\n" : "(not found)\n", v.c_str());
+      }
+    } else if (cmd == "vdel") {
+      std::string k;
+      if (in >> k) {
+        std::printf(tree.DeleteVar(client, k) ? "deleted\n" : "(not found)\n");
+      }
+    } else if (cmd == "vscan") {
+      std::string start;
+      size_t n = 0;
+      if (in >> start >> n) {
+        std::vector<std::pair<std::string, std::string>> out;
+        tree.ScanVar(client, start, n, &out);
+        for (const auto& [k, v] : out) {
+          std::printf("  %s -> %s\n", k.c_str(), v.c_str());
+        }
+        std::printf("(%zu items)\n", out.size());
+      }
+    } else if (cmd == "stats") {
+      PrintStats(client);
+      std::printf("cache: %.1f KB, tree height: %d internal level(s)\n",
+                  static_cast<double>(tree.CacheConsumptionBytes()) / 1024.0, tree.height());
+    } else if (cmd == "validate") {
+      std::string why;
+      std::printf(tree.ValidateStructure(client, &why) ? "structure OK\n" : "INVALID: %s\n",
+                  why.c_str());
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// YCSB shootout: run any of the four DM range indexes under any YCSB workload and report
+// modeled throughput/latency for a chosen number of closed-loop clients — a small capacity-
+// planning tool built on the public API.
+//
+//   $ ./build/examples/ycsb_shootout [index] [workload] [clients]
+//     index:    chime | sherman | smart | rolex   (default: chime)
+//     workload: A | B | C | D | E | LOAD          (default: C)
+//     clients:  closed-loop clients to model      (default: 640)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "src/baselines/chime_index.h"
+#include "src/baselines/rolex.h"
+#include "src/baselines/sherman.h"
+#include "src/baselines/smart.h"
+#include "src/ycsb/runner.h"
+
+namespace {
+
+std::unique_ptr<baselines::RangeIndex> MakeIndex(const char* name, dmsim::MemoryPool* pool) {
+  if (std::strcmp(name, "sherman") == 0) {
+    return std::make_unique<baselines::ShermanTree>(pool, baselines::ShermanOptions{});
+  }
+  if (std::strcmp(name, "smart") == 0) {
+    return std::make_unique<baselines::SmartTree>(pool, baselines::SmartOptions{});
+  }
+  if (std::strcmp(name, "rolex") == 0) {
+    return std::make_unique<baselines::RolexIndex>(pool, baselines::RolexOptions{});
+  }
+  chime::ChimeOptions options;
+  options.cache_bytes = 2ULL << 20;  // scaled-down budgets for the demo dataset
+  options.hotspot_buffer_bytes = 512ULL << 10;
+  return std::make_unique<baselines::ChimeIndex>(pool, options);
+}
+
+ycsb::WorkloadMix MixFor(const char* name) {
+  switch (name[0]) {
+    case 'A':
+      return ycsb::WorkloadA();
+    case 'B':
+      return ycsb::WorkloadB();
+    case 'D':
+      return ycsb::WorkloadD();
+    case 'E':
+      return ycsb::WorkloadE();
+    case 'L':
+      return ycsb::WorkloadLoad();
+    default:
+      return ycsb::WorkloadC();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* index_name = argc > 1 ? argv[1] : "chime";
+  const char* workload = argc > 2 ? argv[2] : "C";
+  const int clients = argc > 3 ? std::atoi(argv[3]) : 640;
+
+  dmsim::SimConfig config;
+  config.region_bytes_per_mn = 2ULL << 30;
+  dmsim::MemoryPool pool(config);
+  auto index = MakeIndex(index_name, &pool);
+
+  ycsb::RunnerOptions opts;
+  opts.num_items = 500000;
+  opts.num_ops = 200000;
+  opts.threads = 4;
+  const ycsb::WorkloadMix mix = MixFor(workload);
+  std::printf("running YCSB %s on %s (%llu items, %llu ops)...\n", mix.name.c_str(),
+              index->name().c_str(), static_cast<unsigned long long>(opts.num_items),
+              static_cast<unsigned long long>(opts.num_ops));
+
+  ycsb::RunnerOptions run_opts = opts;
+  if (mix.name == "LOAD") {
+    run_opts.num_items = 0;  // the measured phase is the load itself
+  }
+  const ycsb::RunResult run = ycsb::RunWorkload(index.get(), &pool, mix, run_opts);
+  const dmsim::ModelResult r = ycsb::Model(run, config, /*num_cns=*/10, clients);
+
+  const dmsim::OpTypeStats d = run.stats.Combined();
+  std::printf("\nper-op service demand: %.2f round trips, %.0f bytes read, "
+              "%.0f bytes written\n",
+              d.AvgRtts(), d.AvgBytesRead(), d.AvgBytesWritten());
+  std::printf("modeled @%d clients:   %.2f Mops, p50 %.1f us, p99 %.1f us (%s-bound)\n",
+              clients, r.throughput_mops, r.p50_us, r.p99_us, r.bottleneck.c_str());
+  std::printf("computing-side cache:  %.1f MB\n",
+              static_cast<double>(index->CacheConsumptionBytes()) / 1048576.0);
+  return 0;
+}

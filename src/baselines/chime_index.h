@@ -1,0 +1,43 @@
+// Adapter exposing the CHIME tree through the common RangeIndex interface so the benchmark
+// harness can drive all four indexes uniformly.
+#ifndef SRC_BASELINES_CHIME_INDEX_H_
+#define SRC_BASELINES_CHIME_INDEX_H_
+
+#include <memory>
+
+#include "src/baselines/range_index.h"
+#include "src/core/tree.h"
+
+namespace baselines {
+
+class ChimeIndex : public RangeIndex {
+ public:
+  ChimeIndex(dmsim::MemoryPool* pool, const chime::ChimeOptions& options)
+      : tree_(std::make_unique<chime::ChimeTree>(pool, options)) {}
+
+  bool Search(dmsim::Client& client, common::Key key, common::Value* value) override {
+    return tree_->Search(client, key, value);
+  }
+  void Insert(dmsim::Client& client, common::Key key, common::Value value) override {
+    tree_->Insert(client, key, value);
+  }
+  bool Update(dmsim::Client& client, common::Key key, common::Value value) override {
+    return tree_->Update(client, key, value);
+  }
+  size_t Scan(dmsim::Client& client, common::Key start, size_t count,
+              std::vector<std::pair<common::Key, common::Value>>* out) override {
+    return tree_->Scan(client, start, count, out);
+  }
+
+  size_t CacheConsumptionBytes() const override { return tree_->CacheConsumptionBytes(); }
+  std::string name() const override { return "CHIME"; }
+
+  chime::ChimeTree& tree() { return *tree_; }
+
+ private:
+  std::unique_ptr<chime::ChimeTree> tree_;
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_CHIME_INDEX_H_

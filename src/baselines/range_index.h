@@ -1,0 +1,41 @@
+// The uniform interface the benchmark harness drives all range indexes through: CHIME, the
+// Sherman-style B+ tree, the SMART-style radix tree, and the ROLEX-style learned index.
+#ifndef SRC_BASELINES_RANGE_INDEX_H_
+#define SRC_BASELINES_RANGE_INDEX_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dmsim/client.h"
+
+namespace baselines {
+
+class RangeIndex {
+ public:
+  virtual ~RangeIndex() = default;
+
+  virtual bool Search(dmsim::Client& client, common::Key key, common::Value* value) = 0;
+  virtual void Insert(dmsim::Client& client, common::Key key, common::Value value) = 0;
+  virtual bool Update(dmsim::Client& client, common::Key key, common::Value value) = 0;
+  virtual size_t Scan(dmsim::Client& client, common::Key start, size_t count,
+                      std::vector<std::pair<common::Key, common::Value>>* out) = 0;
+
+  // Computing-side cache bytes currently in use (index cache + any auxiliary buffers).
+  virtual size_t CacheConsumptionBytes() const = 0;
+  virtual std::string name() const = 0;
+
+  // Bulk-populates the index with sorted unique keys. Default: repeated Insert. ROLEX
+  // overrides this to train its models (the paper pre-trains all items for ROLEX).
+  virtual void BulkLoad(dmsim::Client& client,
+                        const std::vector<std::pair<common::Key, common::Value>>& items) {
+    for (const auto& [k, v] : items) {
+      Insert(client, k, v);
+    }
+  }
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_RANGE_INDEX_H_

@@ -1,0 +1,130 @@
+// ROLEX-style learned index on disaggregated memory (Li et al., FAST'23). Piecewise-linear
+// models trained over the sorted key space live on the compute node and act as the cache;
+// data sits in fixed-size remote leaf groups (span 16 by default). A point query predicts a
+// position with bounded error and fetches two leaf groups per search (the predicted group and
+// its neighbor / overflow), giving an amplification factor of twice the group span
+// (paper §3.1.1, §5.2). Inserts go to the predicted group, spilling into a per-group overflow
+// chain; models are pre-trained and never retrained, exactly as the paper configures ROLEX.
+#ifndef SRC_BASELINES_ROLEX_H_
+#define SRC_BASELINES_ROLEX_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/range_index.h"
+#include "src/core/layout.h"
+#include "src/dmsim/pool.h"
+
+namespace baselines {
+
+struct RolexOptions {
+  int group_span = 16;  // paper default span for ROLEX
+  int model_error = 16; // prediction error bound, in item positions
+  int key_bytes = 8;
+  int value_bytes = 8;
+  bool indirect_values = false;
+  int indirect_block_bytes = 64;
+  // "CHIME-Learned" (paper Fig 15b): leaf groups become hopscotch hash tables so a search
+  // fetches one neighborhood per candidate group instead of the whole group.
+  bool hopscotch_leaf = false;
+  int neighborhood = 8;
+};
+
+class RolexIndex : public RangeIndex {
+ public:
+  RolexIndex(dmsim::MemoryPool* pool, const RolexOptions& options);
+
+  // Trains the models and lays out the leaf groups. Must be called before any operation;
+  // items must be sorted by key and unique.
+  void BulkLoad(dmsim::Client& client,
+                const std::vector<std::pair<common::Key, common::Value>>& items) override;
+
+  bool Search(dmsim::Client& client, common::Key key, common::Value* value) override;
+  void Insert(dmsim::Client& client, common::Key key, common::Value value) override;
+  bool Update(dmsim::Client& client, common::Key key, common::Value value) override;
+  size_t Scan(dmsim::Client& client, common::Key start, size_t count,
+              std::vector<std::pair<common::Key, common::Value>>* out) override;
+  bool Delete(dmsim::Client& client, common::Key key);
+
+  // The models *are* the computing-side cache (paper §2.2).
+  size_t CacheConsumptionBytes() const override;
+  std::string name() const override { return "ROLEX"; }
+
+  size_t num_groups() const { return num_groups_; }
+  size_t num_segments() const { return segments_.size(); }
+  std::string variant_name() const {
+    return options_.hopscotch_leaf ? "CHIME-Learned" : "ROLEX";
+  }
+
+ private:
+  // One linear segment of the piecewise model: predicts position = slope*(key-base)+offset.
+  struct Segment {
+    common::Key first_key = 0;
+    double slope = 0;
+    double offset = 0;
+  };
+
+  // Leaf group image: [header cell][entry cells x group_span][lock word].
+  struct GroupLayout {
+    uint32_t header_data_len = 0;  // valid + overflow pointer
+    uint32_t entry_data_len = 0;
+    chime::CellSpec header;
+    std::vector<chime::CellSpec> entries;
+    uint32_t lock_offset = 0;
+    uint32_t node_bytes = 0;
+  };
+
+  struct GroupView {
+    bool valid = true;
+    common::GlobalAddress overflow;
+    std::vector<chime::LeafEntry> entries;
+    std::vector<uint8_t> evs;
+    uint8_t nv = 0;
+  };
+
+  common::GlobalAddress GroupAddr(size_t g) const {
+    return groups_base_ + static_cast<uint64_t>(g) * layout_.node_bytes;
+  }
+  size_t PredictGroup(common::Key key) const;
+
+  int HomeSlot(common::Key key) const;
+  // Hopscotch placement of `key` into a group view; marks dirtied slots. False when no
+  // feasible hop exists (caller spills to the overflow chain).
+  bool PlaceHopscotch(GroupView* view, common::Key key, common::Value value,
+                      std::vector<int>* dirty) const;
+  // Window probe used by hopscotch-leaf searches (one neighborhood per candidate group).
+  bool SearchWindow(dmsim::Client& client, common::GlobalAddress g0,
+                    common::GlobalAddress g1, common::Key key, common::Value* value);
+  void WriteDirtyAndUnlock(dmsim::Client& client, common::GlobalAddress group,
+                           const GroupView& view, const std::vector<int>& dirty,
+                           common::GlobalAddress lock_group);
+
+  void BuildEmptyGroupImage(std::vector<uint8_t>* image) const;
+  bool ParseGroup(const uint8_t* buf, GroupView* view) const;
+  bool ReadGroup(dmsim::Client& client, common::GlobalAddress addr, GroupView* view);
+  void LockGroup(dmsim::Client& client, common::GlobalAddress addr);
+  void UnlockGroup(dmsim::Client& client, common::GlobalAddress addr);
+  void WriteEntryAndUnlock(dmsim::Client& client, common::GlobalAddress group, int idx,
+                           const GroupView& view, common::GlobalAddress lock_group);
+  void WriteHeader(dmsim::Client& client, common::GlobalAddress group, const GroupView& view);
+
+  common::Value EncodeValue(dmsim::Client& client, common::Key key, common::Value value);
+  bool DecodeValue(dmsim::Client& client, common::Key key, common::Value stored,
+                   common::Value* out);
+
+  dmsim::MemoryPool* pool_;
+  RolexOptions options_;
+  GroupLayout layout_;
+  std::vector<Segment> segments_;  // CN-side model (the cache)
+  common::GlobalAddress groups_base_;
+  size_t num_groups_ = 0;
+  // Items laid out per group at load time: full groups in plain mode; ~3/4 full in
+  // hopscotch-leaf mode so hash placement succeeds.
+  int items_per_group_ = 16;
+  std::atomic<uint64_t> overflow_groups_{0};
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_ROLEX_H_

@@ -1,0 +1,811 @@
+#include "src/baselines/sherman.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+namespace baselines {
+
+namespace {
+constexpr int kMaxOpRestarts = 256;
+constexpr int kMaxReadRetries = 100000;
+
+void CpuRelax(int spin) {
+  if (spin % 64 == 63) {
+    std::this_thread::yield();
+  }
+}
+
+chime::ChimeOptions InternalOptions(const ShermanOptions& o) {
+  chime::ChimeOptions co;
+  co.span = o.span;
+  co.neighborhood = o.span >= 8 ? 8 : 2;  // unused by the internal layout
+  co.key_bytes = o.key_bytes;
+  co.value_bytes = o.value_bytes;
+  return co;
+}
+
+}  // namespace
+
+ShermanTree::ShermanTree(dmsim::MemoryPool* pool, const ShermanOptions& options)
+    : pool_(pool),
+      options_(options),
+      internal_(InternalOptions(options)),
+      cache_(options.cache_bytes, static_cast<size_t>(options.key_bytes)) {
+  // Leaf layout: header + entries + lock.
+  const int kb = options.indirect_values ? 8 : options.key_bytes;
+  const int vb = options.indirect_values ? 8 : options.value_bytes;
+  leaf_.header_data_len = 1 + 2 * static_cast<uint32_t>(options.key_bytes) + 8;
+  leaf_.entry_data_len = static_cast<uint32_t>(kb + vb);
+  uint32_t cursor = 0;
+  leaf_.header = chime::CellCodec::Place(cursor, leaf_.header_data_len);
+  cursor = leaf_.header.end();
+  leaf_.entries.resize(static_cast<size_t>(options.span));
+  for (int i = 0; i < options.span; ++i) {
+    leaf_.entries[static_cast<size_t>(i)] = chime::CellCodec::Place(cursor, leaf_.entry_data_len);
+    cursor = leaf_.entries[static_cast<size_t>(i)].end();
+  }
+  leaf_.lock_offset = (cursor + 7) / 8 * 8;
+  leaf_.node_bytes = leaf_.lock_offset + 8;
+
+  // Bootstrap: root pointer, one empty leaf, a level-1 root.
+  dmsim::Client boot(pool_, -1);
+  boot.BeginOp();
+  root_ptr_addr_ = boot.Alloc(8, 8);
+  const common::GlobalAddress leaf_addr = boot.Alloc(leaf_.node_bytes, chime::kLineBytes);
+  std::vector<uint8_t> image;
+  BuildLeafImage(LeafHeader{}, std::vector<chime::LeafEntry>(static_cast<size_t>(options.span)),
+                 0, &image);
+  boot.Write(leaf_addr, image.data(), static_cast<uint32_t>(image.size()));
+  const common::GlobalAddress root_addr = boot.Alloc(internal_.node_bytes(), chime::kLineBytes);
+  chime::InternalHeader header;
+  header.level = 1;
+  std::vector<chime::InternalEntry> entries{{common::kMinKey, leaf_addr}};
+  internal_.EncodeNode(header, entries, 0, &image);
+  boot.Write(root_addr, image.data(), static_cast<uint32_t>(image.size()));
+  const uint64_t packed = root_addr.Pack();
+  boot.Write(root_ptr_addr_, &packed, 8);
+  boot.AbortOp();
+  cached_root_.store(packed, std::memory_order_release);
+}
+
+// ---- Leaf codec -------------------------------------------------------------------------------
+
+void ShermanTree::EncodeLeafHeader(const LeafHeader& h, uint8_t* data) const {
+  data[0] = h.valid ? 1 : 0;
+  chime::StoreUint(data + 1, h.fence_lo, options_.key_bytes);
+  chime::StoreUint(data + 1 + options_.key_bytes, h.fence_hi, options_.key_bytes);
+  chime::StoreUint(data + 1 + 2 * options_.key_bytes, h.sibling.Pack(), 8);
+}
+
+ShermanTree::LeafHeader ShermanTree::DecodeLeafHeader(const uint8_t* data) const {
+  LeafHeader h;
+  h.valid = data[0] != 0;
+  h.fence_lo = chime::LoadUint(data + 1, options_.key_bytes);
+  h.fence_hi = chime::LoadUint(data + 1 + options_.key_bytes, options_.key_bytes);
+  h.sibling = common::GlobalAddress::Unpack(
+      chime::LoadUint(data + 1 + 2 * options_.key_bytes, 8));
+  return h;
+}
+
+void ShermanTree::EncodeLeafEntry(const chime::LeafEntry& e, uint8_t* data) const {
+  const int kb = options_.indirect_values ? 8 : options_.key_bytes;
+  const int vb = options_.indirect_values ? 8 : options_.value_bytes;
+  chime::StoreUint(data, e.used ? e.key : 0, kb);
+  chime::StoreUint(data + kb, e.value, vb);
+}
+
+chime::LeafEntry ShermanTree::DecodeLeafEntry(const uint8_t* data) const {
+  const int kb = options_.indirect_values ? 8 : options_.key_bytes;
+  const int vb = options_.indirect_values ? 8 : options_.value_bytes;
+  chime::LeafEntry e;
+  e.key = chime::LoadUint(data, kb);
+  e.value = chime::LoadUint(data + kb, vb);
+  e.used = e.key != 0;
+  return e;
+}
+
+void ShermanTree::BuildLeafImage(const LeafHeader& header,
+                                 const std::vector<chime::LeafEntry>& slots, uint8_t nv,
+                                 std::vector<uint8_t>* image) const {
+  image->assign(leaf_.node_bytes, 0);
+  std::vector<uint8_t> data(std::max(leaf_.header_data_len, leaf_.entry_data_len));
+  const uint8_t ver = chime::PackVersion(nv, 0);
+  std::fill(data.begin(), data.end(), 0);
+  EncodeLeafHeader(header, data.data());
+  chime::CellCodec::Store(image->data(), leaf_.header, data.data(), ver);
+  for (int i = 0; i < options_.span; ++i) {
+    std::fill(data.begin(), data.end(), 0);
+    EncodeLeafEntry(slots[static_cast<size_t>(i)], data.data());
+    chime::CellCodec::Store(image->data(), leaf_.entries[static_cast<size_t>(i)], data.data(),
+                            ver);
+  }
+  std::memset(image->data() + leaf_.lock_offset, 0, 8);
+}
+
+bool ShermanTree::ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, LeafView* view) {
+  view->raw.resize(leaf_.lock_offset);
+  client.Read(addr, view->raw.data(), leaf_.lock_offset);
+  std::vector<uint8_t> data(std::max(leaf_.header_data_len, leaf_.entry_data_len));
+  uint8_t ver0 = 0;
+  if (!chime::CellCodec::Load(view->raw.data(), leaf_.header, data.data(), &ver0)) {
+    return false;
+  }
+  view->header = DecodeLeafHeader(data.data());
+  view->nv = chime::VersionNv(ver0);
+  view->entries.resize(static_cast<size_t>(options_.span));
+  view->evs.resize(static_cast<size_t>(options_.span));
+  for (int i = 0; i < options_.span; ++i) {
+    uint8_t ver = 0;
+    if (!chime::CellCodec::Load(view->raw.data(), leaf_.entries[static_cast<size_t>(i)],
+                                data.data(), &ver) ||
+        chime::VersionNv(ver) != view->nv) {
+      return false;
+    }
+    view->entries[static_cast<size_t>(i)] = DecodeLeafEntry(data.data());
+    view->evs[static_cast<size_t>(i)] = chime::VersionEv(ver);
+  }
+  return true;
+}
+
+void ShermanTree::LockLeaf(dmsim::Client& client, common::GlobalAddress addr) {
+  int spin = 0;
+  while (client.Cas(addr + leaf_.lock_offset, 0, 1) != 0) {
+    client.CountRetry();
+    CpuRelax(spin++);
+  }
+}
+
+void ShermanTree::UnlockLeaf(dmsim::Client& client, common::GlobalAddress addr) {
+  const uint64_t zero = 0;
+  client.Write(addr + leaf_.lock_offset, &zero, 8);
+}
+
+void ShermanTree::WriteEntryAndUnlock(dmsim::Client& client, common::GlobalAddress leaf,
+                                      int idx, const LeafView& view) {
+  const chime::CellSpec& cell = leaf_.entries[static_cast<size_t>(idx)];
+  std::vector<uint8_t> cell_buf(cell.total_len);
+  std::vector<uint8_t> data(leaf_.entry_data_len);
+  EncodeLeafEntry(view.entries[static_cast<size_t>(idx)], data.data());
+  chime::CellCodec::Store(cell_buf.data() - cell.offset, cell, data.data(),
+                          chime::PackVersion(view.nv, view.evs[static_cast<size_t>(idx)]));
+  uint64_t zero = 0;
+  client.WriteBatch({{leaf + cell.offset, cell_buf.data(), cell.total_len},
+                     {leaf + leaf_.lock_offset, &zero, 8}});
+}
+
+// ---- Values (inline or Marlin-style indirect) --------------------------------------------------
+
+common::Value ShermanTree::EncodeValue(dmsim::Client& client, common::Key key,
+                                       common::Value value) {
+  if (!options_.indirect_values) {
+    return value;
+  }
+  const common::GlobalAddress block =
+      client.Alloc(static_cast<size_t>(options_.indirect_block_bytes), 8);
+  std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
+  std::memcpy(buf.data(), &key, 8);
+  std::memcpy(buf.data() + 8, &value, 8);
+  client.Write(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  return block.Pack();
+}
+
+bool ShermanTree::DecodeValue(dmsim::Client& client, common::Key key, common::Value stored,
+                              common::Value* out) {
+  if (!options_.indirect_values) {
+    *out = stored;
+    return true;
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
+  client.Read(common::GlobalAddress::Unpack(stored), buf.data(),
+              static_cast<uint32_t>(buf.size()));
+  common::Key k = 0;
+  std::memcpy(&k, buf.data(), 8);
+  if (k != key) {
+    return false;
+  }
+  std::memcpy(out, buf.data() + 8, 8);
+  return true;
+}
+
+// ---- Traversal (shared with CHIME's structure) -------------------------------------------------
+
+common::GlobalAddress ShermanTree::CachedRoot(dmsim::Client& client) {
+  const uint64_t packed = cached_root_.load(std::memory_order_acquire);
+  if (packed != 0) {
+    return common::GlobalAddress::Unpack(packed);
+  }
+  uint64_t fresh = 0;
+  client.Read(root_ptr_addr_, &fresh, 8);
+  cached_root_.store(fresh, std::memory_order_release);
+  return common::GlobalAddress::Unpack(fresh);
+}
+
+void ShermanTree::RefreshRoot(dmsim::Client& client) {
+  uint64_t fresh = 0;
+  client.Read(root_ptr_addr_, &fresh, 8);
+  cached_root_.store(fresh, std::memory_order_release);
+}
+
+std::shared_ptr<const cncache::CachedNode> ShermanTree::FetchInternal(
+    dmsim::Client& client, common::GlobalAddress addr) {
+  std::vector<uint8_t> buf(internal_.node_bytes());
+  chime::InternalHeader header;
+  std::vector<chime::InternalEntry> entries;
+  for (int retry = 0; retry < kMaxReadRetries; ++retry) {
+    client.Read(addr, buf.data(), internal_.lock_offset());
+    if (internal_.DecodeNode(buf.data(), &header, &entries)) {
+      if (!header.valid) {
+        return nullptr;
+      }
+      auto node = std::make_shared<cncache::CachedNode>();
+      node->addr = addr;
+      node->level = header.level;
+      node->fence_lo = header.fence_lo;
+      node->fence_hi = header.fence_hi;
+      node->sibling = header.sibling;
+      for (const auto& e : entries) {
+        node->entries.emplace_back(e.pivot, e.child);
+      }
+      cache_.Put(node);
+      if (header.level > height_.load(std::memory_order_relaxed)) {
+        height_.store(header.level, std::memory_order_relaxed);
+      }
+      return node;
+    }
+    client.CountRetry();
+    CpuRelax(retry);
+  }
+  return nullptr;
+}
+
+bool ShermanTree::LocateLeaf(dmsim::Client& client, common::Key key, LeafRef* ref) {
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    common::GlobalAddress cur = CachedRoot(client);
+    ref->path.clear();
+    bool failed = false;
+    int hops = 0;
+    while (true) {
+      std::shared_ptr<const cncache::CachedNode> node = cache_.Get(cur);
+      const bool from_cache = node != nullptr;
+      if (from_cache) {
+        client.CountCacheHit();
+      } else {
+        client.CountCacheMiss();
+        node = FetchInternal(client, cur);
+        if (node == nullptr) {
+          RefreshRoot(client);
+          failed = true;
+          break;
+        }
+      }
+      if (key >= node->fence_hi) {
+        if (node->sibling.is_null() || ++hops > 64) {
+          cache_.Invalidate(cur);
+          RefreshRoot(client);
+          failed = true;
+          break;
+        }
+        cur = node->sibling;
+        continue;
+      }
+      if (key < node->fence_lo) {
+        cache_.Invalidate(cur);
+        RefreshRoot(client);
+        failed = true;
+        break;
+      }
+      hops = 0;
+      if (ref->path.size() < static_cast<size_t>(node->level) + 1) {
+        ref->path.resize(static_cast<size_t>(node->level) + 1);
+      }
+      ref->path[node->level] = cur;
+      const int idx = node->FindChild(key);
+      if (idx < 0) {
+        cache_.Invalidate(cur);
+        failed = true;
+        break;
+      }
+      const common::GlobalAddress child = node->entries[static_cast<size_t>(idx)].second;
+      if (node->level == 1) {
+        ref->addr = child;
+        ref->parent_addr = cur;
+        ref->from_cache = from_cache;
+        return true;
+      }
+      cur = child;
+    }
+    if (failed) {
+      continue;
+    }
+  }
+  return false;
+}
+
+common::GlobalAddress ShermanTree::TraverseToLevel(dmsim::Client& client, common::Key key,
+                                                   int level) {
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    common::GlobalAddress cur = CachedRoot(client);
+    bool failed = false;
+    int hops = 0;
+    while (true) {
+      std::shared_ptr<const cncache::CachedNode> node = cache_.Get(cur);
+      if (node == nullptr) {
+        node = FetchInternal(client, cur);
+        if (node == nullptr) {
+          RefreshRoot(client);
+          failed = true;
+          break;
+        }
+      }
+      if (key >= node->fence_hi) {
+        if (node->sibling.is_null() || ++hops > 64) {
+          cache_.Invalidate(cur);
+          RefreshRoot(client);
+          failed = true;
+          break;
+        }
+        cur = node->sibling;
+        continue;
+      }
+      if (node->level == level) {
+        return cur;
+      }
+      if (node->level < level) {
+        RefreshRoot(client);
+        failed = true;
+        break;
+      }
+      const int idx = node->FindChild(key);
+      if (idx < 0) {
+        cache_.Invalidate(cur);
+        failed = true;
+        break;
+      }
+      cur = node->entries[static_cast<size_t>(idx)].second;
+    }
+    if (failed) {
+      continue;
+    }
+  }
+  assert(false && "Sherman TraverseToLevel failed");
+  return common::GlobalAddress::Null();
+}
+
+void ShermanTree::InsertIntoParent(dmsim::Client& client,
+                                   const std::vector<common::GlobalAddress>& path, int level,
+                                   common::Key pivot, common::GlobalAddress new_child) {
+  const chime::InternalLayout& IL = internal_;
+  common::GlobalAddress cur = static_cast<size_t>(level) < path.size()
+                                  ? path[static_cast<size_t>(level)]
+                                  : common::GlobalAddress::Null();
+  std::vector<uint8_t> buf(IL.node_bytes());
+  std::vector<uint8_t> image;
+  chime::InternalHeader header;
+  std::vector<chime::InternalEntry> entries;
+  while (true) {
+    if (cur.is_null()) {
+      cur = TraverseToLevel(client, pivot, level);
+    }
+    int spin = 0;
+    while (client.Cas(cur + IL.lock_offset(), 0, 1) != 0) {
+      client.CountRetry();
+      CpuRelax(spin++);
+    }
+    bool ok = false;
+    for (int retry = 0; retry < kMaxReadRetries && !ok; ++retry) {
+      client.Read(cur, buf.data(), IL.lock_offset());
+      ok = IL.DecodeNode(buf.data(), &header, &entries);
+    }
+    assert(ok);
+    if (!header.valid || pivot < header.fence_lo) {
+      const uint64_t zero = 0;
+      client.Write(cur + IL.lock_offset(), &zero, 8);
+      cur = common::GlobalAddress::Null();
+      continue;
+    }
+    if (pivot >= header.fence_hi) {
+      const uint64_t zero = 0;
+      client.Write(cur + IL.lock_offset(), &zero, 8);
+      cur = header.sibling;
+      continue;
+    }
+    auto it = std::upper_bound(
+        entries.begin(), entries.end(), pivot,
+        [](common::Key k, const chime::InternalEntry& e) { return k < e.pivot; });
+    entries.insert(it, chime::InternalEntry{pivot, new_child});
+    const uint8_t nv = static_cast<uint8_t>(
+        (chime::VersionNv(chime::CellCodec::PeekVersion(buf.data(), IL.header_cell())) + 1) &
+        0xF);
+    if (entries.size() <= static_cast<size_t>(IL.span())) {
+      IL.EncodeNode(header, entries, nv, &image);
+      client.Write(cur, image.data(), static_cast<uint32_t>(image.size()));
+      auto node = std::make_shared<cncache::CachedNode>();
+      node->addr = cur;
+      node->level = header.level;
+      node->fence_lo = header.fence_lo;
+      node->fence_hi = header.fence_hi;
+      node->sibling = header.sibling;
+      for (const auto& e : entries) {
+        node->entries.emplace_back(e.pivot, e.child);
+      }
+      cache_.Put(node);
+      return;
+    }
+    const size_t mid = entries.size() / 2;
+    const common::Key split_pivot = entries[mid].pivot;
+    std::vector<chime::InternalEntry> right_entries(entries.begin() + static_cast<long>(mid),
+                                                    entries.end());
+    entries.resize(mid);
+    const common::GlobalAddress right_addr = client.Alloc(IL.node_bytes(), chime::kLineBytes);
+    chime::InternalHeader right_header = header;
+    right_header.fence_lo = split_pivot;
+    IL.EncodeNode(right_header, right_entries, 0, &image);
+    client.Write(right_addr, image.data(), static_cast<uint32_t>(image.size()));
+    chime::InternalHeader left_header = header;
+    left_header.fence_hi = split_pivot;
+    left_header.sibling = right_addr;
+    IL.EncodeNode(left_header, entries, nv, &image);
+    client.Write(cur, image.data(), static_cast<uint32_t>(image.size()));
+    cache_.Invalidate(cur);
+
+    uint64_t root_now = cached_root_.load(std::memory_order_acquire);
+    if (root_now != cur.Pack()) {
+      RefreshRoot(client);
+      root_now = cached_root_.load(std::memory_order_acquire);
+    }
+    if (root_now == cur.Pack()) {
+      const common::GlobalAddress new_root = client.Alloc(IL.node_bytes(), chime::kLineBytes);
+      chime::InternalHeader root_header;
+      root_header.level = static_cast<uint8_t>(header.level + 1);
+      std::vector<chime::InternalEntry> root_entries{{left_header.fence_lo, cur},
+                                                     {split_pivot, right_addr}};
+      IL.EncodeNode(root_header, root_entries, 0, &image);
+      client.Write(new_root, image.data(), static_cast<uint32_t>(image.size()));
+      if (client.Cas(root_ptr_addr_, cur.Pack(), new_root.Pack()) == cur.Pack()) {
+        cached_root_.store(new_root.Pack(), std::memory_order_release);
+        height_.store(root_header.level, std::memory_order_relaxed);
+        return;
+      }
+      RefreshRoot(client);
+    }
+    pivot = split_pivot;
+    new_child = right_addr;
+    level = header.level + 1;
+    cur = static_cast<size_t>(level) < path.size() ? path[static_cast<size_t>(level)]
+                                                   : common::GlobalAddress::Null();
+  }
+}
+
+// ---- Operations -------------------------------------------------------------------------------
+
+bool ShermanTree::Search(dmsim::Client& client, common::Key key, common::Value* value) {
+  client.BeginOp();
+  bool found = false;
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, key, &ref)) {
+      break;
+    }
+    common::GlobalAddress cur = ref.addr;
+    bool done = false;
+    bool redo = false;
+    for (int hops = 0; hops < 64 && !done && !redo; ++hops) {
+      LeafView view;
+      int retry = 0;
+      while (!ReadLeaf(client, cur, &view)) {
+        client.CountRetry();
+        if (++retry > kMaxReadRetries) {
+          redo = true;
+          break;
+        }
+        CpuRelax(retry);
+      }
+      if (redo) {
+        break;
+      }
+      if (!view.header.valid || key < view.header.fence_lo) {
+        cache_.Invalidate(ref.parent_addr);
+        redo = true;
+        break;
+      }
+      if (key >= view.header.fence_hi) {
+        if (ref.from_cache && cur == ref.addr) {
+          cache_.Invalidate(ref.parent_addr);
+        }
+        cur = view.header.sibling;
+        if (cur.is_null()) {
+          done = true;
+        }
+        continue;
+      }
+      for (int i = 0; i < options_.span; ++i) {
+        const chime::LeafEntry& e = view.entries[static_cast<size_t>(i)];
+        if (e.used && e.key == key) {
+          if (DecodeValue(client, key, e.value, value)) {
+            found = true;
+          }
+          break;
+        }
+      }
+      done = true;
+    }
+    if (done) {
+      break;
+    }
+  }
+  client.EndOp(dmsim::OpType::kSearch);
+  return found;
+}
+
+ShermanTree::Outcome ShermanTree::TryWriteLocked(dmsim::Client& client, const LeafRef& ref,
+                                                 common::Key key, common::Value value,
+                                                 bool is_delete, bool insert_if_missing,
+                                                 LeafView* view,
+                                                 common::GlobalAddress* sibling_out) {
+  int retry = 0;
+  while (!ReadLeaf(client, ref.addr, view)) {
+    client.CountRetry();
+    if (++retry > kMaxReadRetries) {
+      UnlockLeaf(client, ref.addr);
+      return Outcome::kStale;
+    }
+  }
+  if (!view->header.valid || key < view->header.fence_lo) {
+    UnlockLeaf(client, ref.addr);
+    return Outcome::kStale;
+  }
+  if (key >= view->header.fence_hi) {
+    UnlockLeaf(client, ref.addr);
+    *sibling_out = view->header.sibling;
+    return Outcome::kFollowSibling;
+  }
+  int free_slot = -1;
+  for (int i = 0; i < options_.span; ++i) {
+    chime::LeafEntry& e = view->entries[static_cast<size_t>(i)];
+    if (e.used && e.key == key) {
+      if (is_delete) {
+        e.used = false;
+        e.key = 0;
+        e.value = 0;
+      } else {
+        e.value = EncodeValue(client, key, value);
+      }
+      view->evs[static_cast<size_t>(i)] = (view->evs[static_cast<size_t>(i)] + 1) & 0xF;
+      WriteEntryAndUnlock(client, ref.addr, i, *view);
+      return Outcome::kDone;
+    }
+    if (!e.used && free_slot < 0) {
+      free_slot = i;
+    }
+  }
+  if (is_delete || !insert_if_missing) {
+    UnlockLeaf(client, ref.addr);
+    return Outcome::kNotFound;
+  }
+  if (free_slot >= 0) {
+    chime::LeafEntry& e = view->entries[static_cast<size_t>(free_slot)];
+    e.used = true;
+    e.key = key;
+    e.value = EncodeValue(client, key, value);
+    view->evs[static_cast<size_t>(free_slot)] =
+        (view->evs[static_cast<size_t>(free_slot)] + 1) & 0xF;
+    WriteEntryAndUnlock(client, ref.addr, free_slot, *view);
+    return Outcome::kDone;
+  }
+  return Outcome::kSplit;  // lock still held; caller splits
+}
+
+void ShermanTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref, LeafView* view,
+                                     common::Key key, common::Value value) {
+  (void)key;
+  (void)value;
+  std::vector<std::pair<common::Key, common::Value>> items;
+  for (const auto& e : view->entries) {
+    if (e.used) {
+      items.emplace_back(e.key, e.value);
+    }
+  }
+  std::sort(items.begin(), items.end());
+  const size_t mid = items.size() / 2;
+  const common::Key split_pivot = items[mid].first;
+
+  const common::GlobalAddress new_addr = client.Alloc(leaf_.node_bytes, chime::kLineBytes);
+  std::vector<chime::LeafEntry> right_slots(static_cast<size_t>(options_.span));
+  for (size_t i = mid; i < items.size(); ++i) {
+    right_slots[i - mid] = {true, 0, items[i].first, items[i].second};
+  }
+  LeafHeader right_header;
+  right_header.fence_lo = split_pivot;
+  right_header.fence_hi = view->header.fence_hi;
+  right_header.sibling = view->header.sibling;
+  std::vector<uint8_t> image;
+  BuildLeafImage(right_header, right_slots, 0, &image);
+  client.Write(new_addr, image.data(), static_cast<uint32_t>(image.size()));
+
+  std::vector<chime::LeafEntry> left_slots(static_cast<size_t>(options_.span));
+  for (size_t i = 0; i < mid; ++i) {
+    left_slots[i] = {true, 0, items[i].first, items[i].second};
+  }
+  LeafHeader left_header = view->header;
+  left_header.fence_hi = split_pivot;
+  left_header.sibling = new_addr;
+  BuildLeafImage(left_header, left_slots, static_cast<uint8_t>((view->nv + 1) & 0xF), &image);
+  client.Write(ref.addr, image.data(), static_cast<uint32_t>(image.size()));
+
+  InsertIntoParent(client, ref.path, 1, split_pivot, new_addr);
+}
+
+void ShermanTree::Insert(dmsim::Client& client, common::Key key, common::Value value) {
+  client.BeginOp();
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, key, &ref)) {
+      break;
+    }
+    bool done = false;
+    bool redo = false;
+    for (int hops = 0; hops < 64 && !done && !redo; ++hops) {
+      LockLeaf(client, ref.addr);
+      LeafView view;
+      common::GlobalAddress sibling;
+      switch (TryWriteLocked(client, ref, key, value, false, true, &view, &sibling)) {
+        case Outcome::kDone:
+          done = true;
+          break;
+        case Outcome::kFollowSibling:
+          ref.addr = sibling;
+          ref.from_cache = false;
+          break;
+        case Outcome::kSplit:
+          SplitLeafAndUnlock(client, ref, &view, key, value);
+          redo = true;
+          break;
+        case Outcome::kStale:
+        default:
+          cache_.Invalidate(ref.parent_addr);
+          redo = true;
+          break;
+      }
+    }
+    if (done) {
+      client.EndOp(dmsim::OpType::kInsert);
+      return;
+    }
+  }
+  client.EndOp(dmsim::OpType::kInsert);
+}
+
+bool ShermanTree::Update(dmsim::Client& client, common::Key key, common::Value value) {
+  client.BeginOp();
+  bool found = false;
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, key, &ref)) {
+      break;
+    }
+    bool done = false;
+    bool redo = false;
+    for (int hops = 0; hops < 64 && !done && !redo; ++hops) {
+      LockLeaf(client, ref.addr);
+      LeafView view;
+      common::GlobalAddress sibling;
+      switch (TryWriteLocked(client, ref, key, value, false, false, &view, &sibling)) {
+        case Outcome::kDone:
+          found = true;
+          done = true;
+          break;
+        case Outcome::kNotFound:
+          done = true;
+          break;
+        case Outcome::kFollowSibling:
+          ref.addr = sibling;
+          ref.from_cache = false;
+          break;
+        case Outcome::kStale:
+        default:
+          cache_.Invalidate(ref.parent_addr);
+          redo = true;
+          break;
+      }
+    }
+    if (done) {
+      break;
+    }
+  }
+  client.EndOp(dmsim::OpType::kUpdate);
+  return found;
+}
+
+bool ShermanTree::Delete(dmsim::Client& client, common::Key key) {
+  client.BeginOp();
+  bool found = false;
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, key, &ref)) {
+      break;
+    }
+    bool done = false;
+    bool redo = false;
+    for (int hops = 0; hops < 64 && !done && !redo; ++hops) {
+      LockLeaf(client, ref.addr);
+      LeafView view;
+      common::GlobalAddress sibling;
+      switch (TryWriteLocked(client, ref, key, 0, true, false, &view, &sibling)) {
+        case Outcome::kDone:
+          found = true;
+          done = true;
+          break;
+        case Outcome::kNotFound:
+          done = true;
+          break;
+        case Outcome::kFollowSibling:
+          ref.addr = sibling;
+          ref.from_cache = false;
+          break;
+        case Outcome::kStale:
+        default:
+          cache_.Invalidate(ref.parent_addr);
+          redo = true;
+          break;
+      }
+    }
+    if (done) {
+      break;
+    }
+  }
+  client.EndOp(dmsim::OpType::kDelete);
+  return found;
+}
+
+size_t ShermanTree::Scan(dmsim::Client& client, common::Key start, size_t count,
+                         std::vector<std::pair<common::Key, common::Value>>* out) {
+  out->clear();
+  client.BeginOp();
+  for (int restart = 0; restart < kMaxOpRestarts && out->empty(); ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, start, &ref)) {
+      break;
+    }
+    common::GlobalAddress cur = ref.addr;
+    int walked = 0;
+    while (out->size() < count && !cur.is_null() && walked++ < 4096) {
+      LeafView view;
+      int retry = 0;
+      bool ok = true;
+      while (!ReadLeaf(client, cur, &view)) {
+        client.CountRetry();
+        if (++retry > kMaxReadRetries) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok || !view.header.valid) {
+        break;
+      }
+      std::vector<std::pair<common::Key, common::Value>> items;
+      for (const auto& e : view.entries) {
+        if (e.used && e.key >= start) {
+          common::Value v = e.value;
+          if (options_.indirect_values && !DecodeValue(client, e.key, e.value, &v)) {
+            continue;
+          }
+          items.emplace_back(e.key, v);
+        }
+      }
+      std::sort(items.begin(), items.end());
+      for (auto& kv : items) {
+        if (out->size() >= count) {
+          break;
+        }
+        out->push_back(kv);
+      }
+      cur = view.header.sibling;
+    }
+  }
+  client.EndOp(dmsim::OpType::kScan);
+  return out->size();
+}
+
+}  // namespace baselines

@@ -1,0 +1,128 @@
+// Sherman-style B+ tree on disaggregated memory (Wang et al., SIGMOD'22), the KV-contiguous
+// baseline. Internal nodes reuse CHIME's internal layout; leaves are flat arrays of KV
+// entries guarded by fence keys. A point query READs the whole leaf node, so the read
+// amplification factor equals the span (paper §3.1.1). Writes are Sherman-style: lock-based,
+// with fine-grained single-entry write-backs enabled by two-level versions (the paper's
+// enhanced Sherman, §5.1 "Comparisons").
+#ifndef SRC_BASELINES_SHERMAN_H_
+#define SRC_BASELINES_SHERMAN_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/range_index.h"
+#include "src/cache/index_cache.h"
+#include "src/core/layout.h"
+#include "src/core/options.h"
+#include "src/dmsim/pool.h"
+
+namespace baselines {
+
+struct ShermanOptions {
+  int span = 64;  // paper default for Sherman
+  int key_bytes = 8;
+  int value_bytes = 8;
+  // Variable-length mode (Marlin-style indirection for the Fig 13 comparison).
+  bool indirect_values = false;
+  int indirect_block_bytes = 64;
+  size_t cache_bytes = 100ULL << 20;
+};
+
+class ShermanTree : public RangeIndex {
+ public:
+  ShermanTree(dmsim::MemoryPool* pool, const ShermanOptions& options);
+
+  bool Search(dmsim::Client& client, common::Key key, common::Value* value) override;
+  void Insert(dmsim::Client& client, common::Key key, common::Value value) override;
+  bool Update(dmsim::Client& client, common::Key key, common::Value value) override;
+  size_t Scan(dmsim::Client& client, common::Key start, size_t count,
+              std::vector<std::pair<common::Key, common::Value>>* out) override;
+  bool Delete(dmsim::Client& client, common::Key key);
+
+  size_t CacheConsumptionBytes() const override { return cache_.bytes_used(); }
+  std::string name() const override { return "Sherman"; }
+
+  cncache::IndexCache& cache() { return cache_; }
+  int height() const { return height_.load(std::memory_order_relaxed); }
+  uint32_t leaf_node_bytes() const { return leaf_.node_bytes; }
+
+ private:
+  // Leaf image: [header cell][entry cells x span][lock word].
+  struct LeafLayout {
+    uint32_t header_data_len = 0;
+    uint32_t entry_data_len = 0;
+    chime::CellSpec header;
+    std::vector<chime::CellSpec> entries;
+    uint32_t lock_offset = 0;
+    uint32_t node_bytes = 0;
+  };
+
+  struct LeafHeader {
+    bool valid = true;
+    common::Key fence_lo = 0;
+    common::Key fence_hi = common::kMaxKey;
+    common::GlobalAddress sibling;
+  };
+
+  struct LeafView {
+    LeafHeader header;
+    std::vector<chime::LeafEntry> entries;  // hop_bitmap unused here
+    std::vector<uint8_t> evs;
+    uint8_t nv = 0;
+    std::vector<uint8_t> raw;
+  };
+
+  struct LeafRef {
+    common::GlobalAddress addr;
+    common::GlobalAddress parent_addr;
+    bool from_cache = false;
+    std::vector<common::GlobalAddress> path;
+  };
+
+  void EncodeLeafHeader(const LeafHeader& h, uint8_t* data) const;
+  LeafHeader DecodeLeafHeader(const uint8_t* data) const;
+  void EncodeLeafEntry(const chime::LeafEntry& e, uint8_t* data) const;
+  chime::LeafEntry DecodeLeafEntry(const uint8_t* data) const;
+  void BuildLeafImage(const LeafHeader& header, const std::vector<chime::LeafEntry>& slots,
+                      uint8_t nv, std::vector<uint8_t>* image) const;
+
+  common::GlobalAddress CachedRoot(dmsim::Client& client);
+  void RefreshRoot(dmsim::Client& client);
+  std::shared_ptr<const cncache::CachedNode> FetchInternal(dmsim::Client& client,
+                                                           common::GlobalAddress addr);
+  bool LocateLeaf(dmsim::Client& client, common::Key key, LeafRef* ref);
+  common::GlobalAddress TraverseToLevel(dmsim::Client& client, common::Key key, int level);
+  void InsertIntoParent(dmsim::Client& client, const std::vector<common::GlobalAddress>& path,
+                        int level, common::Key pivot, common::GlobalAddress new_child);
+
+  bool ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, LeafView* view);
+  void LockLeaf(dmsim::Client& client, common::GlobalAddress addr);
+  void UnlockLeaf(dmsim::Client& client, common::GlobalAddress addr);
+  void WriteEntryAndUnlock(dmsim::Client& client, common::GlobalAddress leaf, int idx,
+                           const LeafView& view);
+  void SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref, LeafView* view,
+                          common::Key key, common::Value value);
+
+  enum class Outcome { kDone, kNotFound, kFollowSibling, kStale, kSplit };
+  Outcome TryWriteLocked(dmsim::Client& client, const LeafRef& ref, common::Key key,
+                         common::Value value, bool is_delete, bool insert_if_missing,
+                         LeafView* view, common::GlobalAddress* sibling_out);
+
+  common::Value EncodeValue(dmsim::Client& client, common::Key key, common::Value value);
+  bool DecodeValue(dmsim::Client& client, common::Key key, common::Value stored,
+                   common::Value* out);
+
+  dmsim::MemoryPool* pool_;
+  ShermanOptions options_;
+  chime::InternalLayout internal_;
+  LeafLayout leaf_;
+  cncache::IndexCache cache_;
+  common::GlobalAddress root_ptr_addr_;
+  std::atomic<uint64_t> cached_root_{0};
+  std::atomic<int> height_{1};
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_SHERMAN_H_

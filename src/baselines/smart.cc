@@ -1,0 +1,691 @@
+#include "src/baselines/smart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "src/common/bitops.h"
+
+namespace baselines {
+
+namespace {
+constexpr int kMaxOpRestarts = 256;
+
+void CpuRelax(int spin) {
+  if (spin % 64 == 63) {
+    std::this_thread::yield();
+  }
+}
+}  // namespace
+
+// ---- Node cache -------------------------------------------------------------------------------
+
+std::shared_ptr<const SmartTree::NodeImage> SmartTree::NodeCache::Get(
+    const common::GlobalAddress& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(addr);
+  if (it == map_.end()) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.it);
+  return it->second.node;
+}
+
+void SmartTree::NodeCache::Put(const common::GlobalAddress& addr,
+                               std::shared_ptr<const NodeImage> node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(addr);
+  if (it != map_.end()) {
+    bytes_ -= it->second.node->Bytes();
+    bytes_ += node->Bytes();
+    it->second.node = std::move(node);
+    lru_.splice(lru_.begin(), lru_, it->second.it);
+  } else {
+    bytes_ += node->Bytes();
+    lru_.push_front(addr);
+    map_[addr] = Entry{std::move(node), lru_.begin()};
+  }
+  while (bytes_ > capacity_ && !lru_.empty()) {
+    auto victim = map_.find(lru_.back());
+    bytes_ -= victim->second.node->Bytes();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+}
+
+void SmartTree::NodeCache::Invalidate(const common::GlobalAddress& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(addr);
+  if (it == map_.end()) {
+    return;
+  }
+  bytes_ -= it->second.node->Bytes();
+  lru_.erase(it->second.it);
+  map_.erase(it);
+}
+
+size_t SmartTree::NodeCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t SmartTree::CacheConsumptionBytes() const { return cache_.bytes_used(); }
+
+// ---- Slot words -------------------------------------------------------------------------------
+
+uint64_t SmartTree::Slot::Make(bool is_leaf, uint8_t partial, common::GlobalAddress addr,
+                               NodeType type) {
+  assert(addr.node_id < 32 && "slot words pack node ids into 5 bits");
+  return (uint64_t{1} << 63) | (static_cast<uint64_t>(is_leaf) << 62) |
+         (static_cast<uint64_t>(partial) << 54) |
+         (static_cast<uint64_t>(type == NodeType::kNode256 ? 1 : 0) << 53) |
+         (static_cast<uint64_t>(addr.node_id) << 48) | addr.offset;
+}
+
+common::GlobalAddress SmartTree::Slot::Addr(uint64_t w) {
+  return common::GlobalAddress(static_cast<uint16_t>((w >> 48) & 0x1F),
+                               w & ((uint64_t{1} << 48) - 1));
+}
+
+// ---- Construction -----------------------------------------------------------------------------
+
+SmartTree::SmartTree(dmsim::MemoryPool* pool, const SmartOptions& options)
+    : pool_(pool), options_(options), cache_(options.cache_bytes) {
+  dmsim::Client boot(pool_, -1);
+  boot.BeginOp();
+  NodeImage root;
+  root.type = NodeType::kNode256;
+  root.depth = 0;
+  root.prefix_len = 0;
+  root.slots.assign(256, 0);
+  root_ = WriteNewNode(boot, root);
+  boot.AbortOp();
+}
+
+// ---- Node I/O ---------------------------------------------------------------------------------
+
+void SmartTree::EncodeNode(const NodeImage& node, std::vector<uint8_t>* image) const {
+  image->assign(NodeBytes(node.type), 0);
+  uint8_t* p = image->data();
+  p[0] = static_cast<uint8_t>(node.type);
+  p[1] = node.valid ? 1 : 0;
+  p[2] = node.depth;
+  p[3] = node.prefix_len;
+  std::memcpy(p + 4, node.prefix, 8);
+  for (size_t i = 0; i < node.slots.size(); ++i) {
+    std::memcpy(p + SlotOffset(static_cast<int>(i)), &node.slots[i], 8);
+  }
+}
+
+bool SmartTree::DecodeNode(const uint8_t* image, size_t len, NodeImage* node) const {
+  node->type = static_cast<NodeType>(image[0]);
+  if (node->type != NodeType::kNode16 && node->type != NodeType::kNode256) {
+    return false;
+  }
+  node->valid = image[1] != 0;
+  node->depth = image[2];
+  node->prefix_len = image[3];
+  std::memcpy(node->prefix, image + 4, 8);
+  const size_t n = node->type == NodeType::kNode16 ? 16 : 256;
+  if (len < kHeaderBytes + n * 8) {
+    return false;
+  }
+  node->slots.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(&node->slots[i], image + SlotOffset(static_cast<int>(i)), 8);
+  }
+  return true;
+}
+
+std::shared_ptr<const SmartTree::NodeImage> SmartTree::FetchNode(dmsim::Client& client,
+                                                                 common::GlobalAddress addr,
+                                                                 NodeType type) {
+  // The typed pointer tells the reader the exact node size, so one READ suffices.
+  std::vector<uint8_t> buf(NodeBytes(type));
+  client.Read(addr, buf.data(), NodeBytes(type));
+  auto node = std::make_shared<NodeImage>();
+  if (!DecodeNode(buf.data(), buf.size(), node.get())) {
+    return nullptr;
+  }
+  if (!node->valid) {
+    cache_.Invalidate(addr);
+    return nullptr;
+  }
+  cache_.Put(addr, node);
+  return node;
+}
+
+common::GlobalAddress SmartTree::WriteNewNode(dmsim::Client& client, const NodeImage& node) {
+  std::vector<uint8_t> image;
+  EncodeNode(node, &image);
+  const common::GlobalAddress addr = client.Alloc(image.size(), 64);
+  client.Write(addr, image.data(), static_cast<uint32_t>(image.size()));
+  return addr;
+}
+
+common::GlobalAddress SmartTree::WriteLeaf(dmsim::Client& client, common::Key key,
+                                           common::Value value) {
+  const common::GlobalAddress addr = client.Alloc(16, 16);
+  uint64_t kv[2] = {key, EncodeValue(client, key, value)};
+  client.Write(addr, kv, 16);
+  return addr;
+}
+
+bool SmartTree::ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, common::Key* key,
+                         common::Value* value) {
+  uint64_t kv[2];
+  client.Read(addr, kv, 16);
+  *key = kv[0];
+  *value = kv[1];
+  return kv[0] != 0;
+}
+
+void SmartTree::LockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type) {
+  int spin = 0;
+  while (client.Cas(addr + LockOffset(type), 0, 1) != 0) {
+    client.CountRetry();
+    CpuRelax(spin++);
+  }
+}
+
+void SmartTree::UnlockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type) {
+  const uint64_t zero = 0;
+  client.Write(addr + LockOffset(type), &zero, 8);
+}
+
+common::Value SmartTree::EncodeValue(dmsim::Client& client, common::Key key,
+                                     common::Value value) {
+  if (!options_.indirect_values) {
+    return value;
+  }
+  const common::GlobalAddress block =
+      client.Alloc(static_cast<size_t>(options_.indirect_block_bytes), 8);
+  std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
+  std::memcpy(buf.data(), &key, 8);
+  std::memcpy(buf.data() + 8, &value, 8);
+  client.Write(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  return block.Pack();
+}
+
+bool SmartTree::DecodeValue(dmsim::Client& client, common::Key key, common::Value stored,
+                            common::Value* out) {
+  if (!options_.indirect_values) {
+    *out = stored;
+    return true;
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
+  client.Read(common::GlobalAddress::Unpack(stored), buf.data(),
+              static_cast<uint32_t>(buf.size()));
+  common::Key k = 0;
+  std::memcpy(&k, buf.data(), 8);
+  if (k != key) {
+    return false;
+  }
+  std::memcpy(out, buf.data() + 8, 8);
+  return true;
+}
+
+// ---- Search -----------------------------------------------------------------------------------
+
+SmartTree::FindResult SmartTree::FindLeaf(dmsim::Client& client, common::Key key,
+                                          bool use_cache, common::GlobalAddress* leaf_addr,
+                                          common::Value* value) {
+  common::GlobalAddress addr = root_;
+  NodeType addr_type = NodeType::kNode256;  // the root is a Node256
+  for (int level = 0; level < 16; ++level) {
+    std::shared_ptr<const NodeImage> node;
+    if (use_cache) {
+      node = cache_.Get(addr);
+    }
+    if (node != nullptr) {
+      client.CountCacheHit();
+    } else {
+      client.CountCacheMiss();
+      node = FetchNode(client, addr, addr_type);
+      if (node == nullptr) {
+        return FindResult::kRetry;
+      }
+    }
+    for (int i = 0; i < node->prefix_len; ++i) {
+      if (Digit(key, node->depth + i) != node->prefix[i]) {
+        return FindResult::kNotFound;
+      }
+    }
+    const int d = node->depth + node->prefix_len;
+    const uint8_t digit = Digit(key, d);
+    uint64_t w = 0;
+    if (node->type == NodeType::kNode256) {
+      w = node->slots[digit];
+      if (!Slot::Used(w)) {
+        return FindResult::kNotFound;
+      }
+    } else {
+      bool found = false;
+      for (uint64_t s : node->slots) {
+        if (Slot::Used(s) && Slot::Partial(s) == digit) {
+          w = s;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return FindResult::kNotFound;
+      }
+    }
+    if (Slot::IsLeaf(w)) {
+      common::Key lk = 0;
+      common::Value lv = 0;
+      ReadLeaf(client, Slot::Addr(w), &lk, &lv);
+      if (lk != key) {
+        return FindResult::kNotFound;
+      }
+      if (!DecodeValue(client, key, lv, value)) {
+        return FindResult::kNotFound;
+      }
+      if (leaf_addr != nullptr) {
+        *leaf_addr = Slot::Addr(w);
+      }
+      return FindResult::kFound;
+    }
+    addr = Slot::Addr(w);
+    addr_type = Slot::Type(w);
+  }
+  return FindResult::kRetry;
+}
+
+bool SmartTree::Search(dmsim::Client& client, common::Key key, common::Value* value) {
+  client.BeginOp();
+  FindResult r = FindLeaf(client, key, /*use_cache=*/true, nullptr, value);
+  if (r != FindResult::kFound) {
+    // The cached path may be stale (a slot installed or a node replaced after caching);
+    // retry uncached, which also refreshes the cache along the path.
+    r = FindLeaf(client, key, /*use_cache=*/false, nullptr, value);
+  }
+  client.EndOp(dmsim::OpType::kSearch);
+  return r == FindResult::kFound;
+}
+
+// ---- Insert -----------------------------------------------------------------------------------
+
+bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Value value,
+                              bool use_cache) {
+  common::GlobalAddress addr = root_;
+  NodeType addr_type = NodeType::kNode256;
+  common::GlobalAddress parent_slot_addr;  // remote address of the slot word pointing at addr
+  uint64_t parent_word = 0;
+
+  for (int level = 0; level < 16; ++level) {
+    std::shared_ptr<const NodeImage> node;
+    if (use_cache) {
+      node = cache_.Get(addr);
+    }
+    if (node == nullptr) {
+      node = FetchNode(client, addr, addr_type);
+      if (node == nullptr) {
+        return false;
+      }
+    }
+
+    // Prefix mismatch: split the compressed path (lock node, publish replacement, CAS the
+    // parent slot).
+    int mismatch = -1;
+    for (int i = 0; i < node->prefix_len; ++i) {
+      if (Digit(key, node->depth + i) != node->prefix[i]) {
+        mismatch = i;
+        break;
+      }
+    }
+    if (mismatch >= 0) {
+      assert(!parent_slot_addr.is_null() && "the root has no compressed prefix");
+      LockNode(client, addr, node->type);
+      auto fresh = FetchNode(client, addr, node->type);
+      if (fresh == nullptr || fresh->prefix_len != node->prefix_len ||
+          std::memcmp(fresh->prefix, node->prefix, 8) != 0) {
+        UnlockNode(client, addr, node->type);
+        return false;
+      }
+      NodeImage trimmed = *fresh;
+      trimmed.depth = static_cast<uint8_t>(node->depth + mismatch + 1);
+      trimmed.prefix_len = static_cast<uint8_t>(node->prefix_len - mismatch - 1);
+      std::memmove(trimmed.prefix, trimmed.prefix + mismatch + 1, 8 - (mismatch + 1));
+      const common::GlobalAddress trimmed_addr = WriteNewNode(client, trimmed);
+
+      NodeImage z;
+      z.type = NodeType::kNode16;
+      z.depth = node->depth;
+      z.prefix_len = static_cast<uint8_t>(mismatch);
+      std::memcpy(z.prefix, node->prefix, 8);
+      z.slots.assign(16, 0);
+      z.slots[0] = Slot::Make(false, node->prefix[mismatch], trimmed_addr);
+      const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+      z.slots[1] = Slot::Make(true, Digit(key, node->depth + mismatch), leaf);
+      const common::GlobalAddress z_addr = WriteNewNode(client, z);
+
+      const uint64_t new_word =
+          Slot::Make(false, Slot::Partial(parent_word), z_addr, NodeType::kNode16);
+      const uint64_t observed =
+          client.Cas(parent_slot_addr, parent_word, new_word);
+      if (observed != parent_word) {
+        UnlockNode(client, addr, node->type);
+        return false;
+      }
+      // Retire the replaced node.
+      uint8_t invalid[2] = {static_cast<uint8_t>(fresh->type), 0};
+      client.Write(addr, invalid, 2);
+      cache_.Invalidate(addr);
+      UnlockNode(client, addr, node->type);
+      return true;
+    }
+
+    const int d = node->depth + node->prefix_len;
+    const uint8_t digit = Digit(key, d);
+
+    if (node->type == NodeType::kNode256) {
+      const common::GlobalAddress slot_addr = addr + SlotOffset(digit);
+      uint64_t w = node->slots[digit];
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        if (!Slot::Used(w)) {
+          const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+          const uint64_t desired = Slot::Make(true, digit, leaf);
+          const uint64_t observed = client.Cas(slot_addr, w, desired);
+          if (observed == w) {
+            return true;
+          }
+          w = observed;  // somebody raced; decide again on the fresh word
+          continue;
+        }
+        break;
+      }
+      if (Slot::IsLeaf(w)) {
+        common::Key lk = 0;
+        common::Value lv = 0;
+        ReadLeaf(client, Slot::Addr(w), &lk, &lv);
+        if (lk == key) {
+          // In-place value update (8-byte atomic write; indirect mode swings the pointer).
+          const common::Value stored = EncodeValue(client, key, value);
+          client.Write(Slot::Addr(w) + 8, &stored, 8);
+          return true;
+        }
+        if (lk == 0) {
+          // Dead leaf (deleted key): replace it with a fresh leaf in place.
+          const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+          return client.Cas(slot_addr, w, Slot::Make(true, digit, leaf)) == w;
+        }
+        // Expand: a new Node16 holding both leaves below their common prefix.
+        int m = 0;
+        while (d + 1 + m < 8 && Digit(key, d + 1 + m) == Digit(lk, d + 1 + m)) {
+          m++;
+        }
+        NodeImage z;
+        z.type = NodeType::kNode16;
+        z.depth = static_cast<uint8_t>(d + 1);
+        z.prefix_len = static_cast<uint8_t>(m);
+        for (int i = 0; i < m; ++i) {
+          z.prefix[i] = Digit(key, d + 1 + i);
+        }
+        z.slots.assign(16, 0);
+        z.slots[0] = Slot::Make(true, Digit(lk, d + 1 + m), Slot::Addr(w));
+        const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+        z.slots[1] = Slot::Make(true, Digit(key, d + 1 + m), leaf);
+        const common::GlobalAddress z_addr = WriteNewNode(client, z);
+        return client.Cas(slot_addr, w,
+                          Slot::Make(false, digit, z_addr, NodeType::kNode16)) == w;
+      }
+      parent_slot_addr = slot_addr;
+      parent_word = w;
+      addr = Slot::Addr(w);
+      addr_type = Slot::Type(w);
+      continue;
+    }
+
+    // Node16.
+    int slot_idx = -1;
+    uint64_t w = 0;
+    for (size_t i = 0; i < node->slots.size(); ++i) {
+      if (Slot::Used(node->slots[i]) && Slot::Partial(node->slots[i]) == digit) {
+        slot_idx = static_cast<int>(i);
+        w = node->slots[i];
+        break;
+      }
+    }
+    if (slot_idx >= 0) {
+      const common::GlobalAddress slot_addr = addr + SlotOffset(slot_idx);
+      if (Slot::IsLeaf(w)) {
+        common::Key lk = 0;
+        common::Value lv = 0;
+        ReadLeaf(client, Slot::Addr(w), &lk, &lv);
+        if (lk == key) {
+          const common::Value stored = EncodeValue(client, key, value);
+          client.Write(Slot::Addr(w) + 8, &stored, 8);
+          return true;
+        }
+        if (lk == 0) {
+          const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+          return client.Cas(slot_addr, w, Slot::Make(true, digit, leaf)) == w;
+        }
+        int m = 0;
+        while (d + 1 + m < 8 && Digit(key, d + 1 + m) == Digit(lk, d + 1 + m)) {
+          m++;
+        }
+        NodeImage z;
+        z.type = NodeType::kNode16;
+        z.depth = static_cast<uint8_t>(d + 1);
+        z.prefix_len = static_cast<uint8_t>(m);
+        for (int i = 0; i < m; ++i) {
+          z.prefix[i] = Digit(key, d + 1 + i);
+        }
+        z.slots.assign(16, 0);
+        z.slots[0] = Slot::Make(true, Digit(lk, d + 1 + m), Slot::Addr(w));
+        const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+        z.slots[1] = Slot::Make(true, Digit(key, d + 1 + m), leaf);
+        const common::GlobalAddress z_addr = WriteNewNode(client, z);
+        return client.Cas(slot_addr, w,
+                          Slot::Make(false, digit, z_addr, NodeType::kNode16)) == w;
+      }
+      parent_slot_addr = slot_addr;
+      parent_word = w;
+      addr = Slot::Addr(w);
+      addr_type = Slot::Type(w);
+      continue;
+    }
+
+    // No slot for this digit yet: claim one under the node lock.
+    LockNode(client, addr, NodeType::kNode16);
+    auto fresh = FetchNode(client, addr, NodeType::kNode16);
+    if (fresh == nullptr || fresh->type != NodeType::kNode16) {
+      if (fresh != nullptr) {
+        UnlockNode(client, addr, fresh->type);
+      } else {
+        UnlockNode(client, addr, NodeType::kNode16);
+      }
+      return false;
+    }
+    bool digit_present = false;
+    int free_idx = -1;
+    for (size_t i = 0; i < fresh->slots.size(); ++i) {
+      if (Slot::Used(fresh->slots[i])) {
+        if (Slot::Partial(fresh->slots[i]) == digit) {
+          digit_present = true;
+        }
+      } else if (free_idx < 0) {
+        free_idx = static_cast<int>(i);
+      }
+    }
+    if (digit_present) {
+      UnlockNode(client, addr, NodeType::kNode16);
+      return false;  // retry; the descent will now follow the new slot
+    }
+    if (free_idx >= 0) {
+      const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+      const uint64_t word = Slot::Make(true, digit, leaf);
+      client.Write(addr + SlotOffset(free_idx), &word, 8);
+      UnlockNode(client, addr, NodeType::kNode16);
+      return true;
+    }
+    // Grow Node16 -> Node256 (SMART's adaptive node type switch).
+    assert(!parent_slot_addr.is_null() && "the root is a Node256 and never grows");
+    NodeImage big;
+    big.type = NodeType::kNode256;
+    big.depth = fresh->depth;
+    big.prefix_len = fresh->prefix_len;
+    std::memcpy(big.prefix, fresh->prefix, 8);
+    big.slots.assign(256, 0);
+    for (uint64_t s : fresh->slots) {
+      if (Slot::Used(s)) {
+        big.slots[Slot::Partial(s)] = s;
+      }
+    }
+    const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+    big.slots[digit] = Slot::Make(true, digit, leaf);
+    const common::GlobalAddress big_addr = WriteNewNode(client, big);
+    const uint64_t new_word =
+        Slot::Make(false, Slot::Partial(parent_word), big_addr, NodeType::kNode256);
+    const bool swapped = client.Cas(parent_slot_addr, parent_word, new_word) == parent_word;
+    if (swapped) {
+      uint8_t invalid[2] = {static_cast<uint8_t>(NodeType::kNode16), 0};
+      client.Write(addr, invalid, 2);
+      cache_.Invalidate(addr);
+    }
+    UnlockNode(client, addr, NodeType::kNode16);
+    return swapped;
+  }
+  return false;
+}
+
+void SmartTree::Insert(dmsim::Client& client, common::Key key, common::Value value) {
+  assert(key != 0);
+  client.BeginOp();
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    // First attempt rides the cache; retries bypass it so stale snapshots cannot wedge us.
+    if (InsertAttempt(client, key, value, restart == 0)) {
+      client.EndOp(dmsim::OpType::kInsert);
+      return;
+    }
+    client.CountRetry();
+    CpuRelax(restart);
+  }
+  client.EndOp(dmsim::OpType::kInsert);
+  assert(false && "SMART insert failed to converge");
+}
+
+bool SmartTree::Update(dmsim::Client& client, common::Key key, common::Value value) {
+  client.BeginOp();
+  bool found = false;
+  common::Value dummy;
+  common::GlobalAddress leaf;
+  FindResult r = FindLeaf(client, key, true, &leaf, &dummy);
+  if (r != FindResult::kFound) {
+    r = FindLeaf(client, key, false, &leaf, &dummy);
+  }
+  if (r == FindResult::kFound) {
+    const common::Value stored = EncodeValue(client, key, value);
+    client.Write(leaf + 8, &stored, 8);
+    found = true;
+  }
+  client.EndOp(dmsim::OpType::kUpdate);
+  return found;
+}
+
+bool SmartTree::Delete(dmsim::Client& client, common::Key key) {
+  client.BeginOp();
+  bool found = false;
+  common::Value dummy;
+  common::GlobalAddress leaf;
+  FindResult r = FindLeaf(client, key, true, &leaf, &dummy);
+  if (r != FindResult::kFound) {
+    r = FindLeaf(client, key, false, &leaf, &dummy);
+  }
+  if (r == FindResult::kFound) {
+    // Kill the leaf (its key word becomes 0); the parent slot keeps pointing at the dead
+    // leaf, which readers treat as absent, and inserts replace.
+    const uint64_t zero = 0;
+    client.Write(leaf, &zero, 8);
+    found = true;
+  }
+  client.EndOp(dmsim::OpType::kDelete);
+  return found;
+}
+
+// ---- Scan -------------------------------------------------------------------------------------
+
+void SmartTree::ScanNode(dmsim::Client& client, common::GlobalAddress addr, common::Key start,
+                         size_t count,
+                         std::vector<std::pair<common::Key, common::Value>>* out) {
+  ScanSubtree(client, addr, NodeType::kNode256, /*fixed=*/0, start, count, out);
+}
+
+void SmartTree::ScanSubtree(dmsim::Client& client, common::GlobalAddress addr, NodeType type,
+                            common::Key fixed, common::Key start, size_t count,
+                            std::vector<std::pair<common::Key, common::Value>>* out) {
+  if (out->size() >= count) {
+    return;
+  }
+  // Scans always read fresh node snapshots: slot installs do not refresh CN caches, and a
+  // stale snapshot would silently skip recently inserted keys.
+  std::shared_ptr<const NodeImage> node = FetchNode(client, addr, type);
+  if (node == nullptr) {
+    return;
+  }
+  // Fold the node's compressed prefix into the fixed high bytes of the subtree's keys.
+  for (int i = 0; i < node->prefix_len; ++i) {
+    const int pos = node->depth + i;
+    fixed |= static_cast<common::Key>(node->prefix[i]) << (8 * (7 - pos));
+  }
+  const int d = node->depth + node->prefix_len;
+
+  // Slots in ascending digit order yield keys in ascending order (big-endian digits).
+  std::vector<uint64_t> ordered;
+  for (uint64_t s : node->slots) {
+    if (Slot::Used(s)) {
+      ordered.push_back(s);
+    }
+  }
+  if (node->type == NodeType::kNode16) {
+    std::sort(ordered.begin(), ordered.end(), [](uint64_t a, uint64_t b) {
+      return Slot::Partial(a) < Slot::Partial(b);
+    });
+  }
+  for (uint64_t s : ordered) {
+    if (out->size() >= count) {
+      return;
+    }
+    const common::Key child_fixed =
+        fixed | (static_cast<common::Key>(Slot::Partial(s)) << (8 * (7 - d)));
+    // Prune subtrees whose largest possible key is below the scan start.
+    const common::Key subtree_max =
+        child_fixed | (d < 7 ? common::LowMask(8 * (7 - d)) : 0);
+    if (subtree_max < start) {
+      continue;
+    }
+    if (Slot::IsLeaf(s)) {
+      common::Key lk = 0;
+      common::Value lv = 0;
+      if (ReadLeaf(client, Slot::Addr(s), &lk, &lv) && lk >= start) {
+        common::Value v = lv;
+        if (!options_.indirect_values || DecodeValue(client, lk, lv, &v)) {
+          out->emplace_back(lk, v);
+        }
+      }
+    } else {
+      ScanSubtree(client, Slot::Addr(s), Slot::Type(s), child_fixed, start, count, out);
+    }
+  }
+}
+
+size_t SmartTree::Scan(dmsim::Client& client, common::Key start, size_t count,
+                       std::vector<std::pair<common::Key, common::Value>>* out) {
+  out->clear();
+  client.BeginOp();
+  // A radix tree scan walks the subtrees in digit order, one small READ per node and per
+  // leaf — the IOPS-heavy access pattern that makes KV-discrete scans slow (Fig 12 YCSB E).
+  ScanSubtree(client, root_, NodeType::kNode256, 0, start, count, out);
+  std::sort(out->begin(), out->end());
+  if (out->size() > count) {
+    out->resize(count);
+  }
+  client.EndOp(dmsim::OpType::kScan);
+  return out->size();
+}
+
+}  // namespace baselines

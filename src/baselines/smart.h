@@ -1,0 +1,154 @@
+// SMART-style adaptive radix tree on disaggregated memory (Luo et al., OSDI'23), the
+// KV-discrete baseline. Every leaf is one KV item at its own remote address, so point reads
+// are tiny (amplification factor 1) — but the computing side must cache an internal radix
+// node per key prefix, which makes cache consumption proportional to the item count
+// (paper §3.1.1).
+//
+// Layout: 8-byte keys are treated as 8 big-endian digits. Internal nodes are Node16 (sparse,
+// one tagged 8-byte slot word per child) or Node256 (direct-indexed); each slot word packs
+// {used, is_leaf, partial digit, remote address} so a slot is always read/written atomically.
+// Leaves are 16-byte {key, value} blocks. Slot installation uses CAS; structural node
+// replacement (grow / prefix split / leaf expansion) locks the node, publishes the
+// replacement, and CASes the parent slot.
+#ifndef SRC_BASELINES_SMART_H_
+#define SRC_BASELINES_SMART_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/range_index.h"
+#include "src/dmsim/pool.h"
+
+namespace baselines {
+
+struct SmartOptions {
+  size_t cache_bytes = 100ULL << 20;
+  // Variable-length mode (SMART-RCU in the paper's Fig 13): values move out of the leaf.
+  bool indirect_values = false;
+  int indirect_block_bytes = 64;
+};
+
+class SmartTree : public RangeIndex {
+ public:
+  SmartTree(dmsim::MemoryPool* pool, const SmartOptions& options);
+
+  bool Search(dmsim::Client& client, common::Key key, common::Value* value) override;
+  void Insert(dmsim::Client& client, common::Key key, common::Value value) override;
+  bool Update(dmsim::Client& client, common::Key key, common::Value value) override;
+  size_t Scan(dmsim::Client& client, common::Key start, size_t count,
+              std::vector<std::pair<common::Key, common::Value>>* out) override;
+  bool Delete(dmsim::Client& client, common::Key key);
+
+  size_t CacheConsumptionBytes() const override;
+  std::string name() const override { return "SMART"; }
+
+ private:
+  enum class NodeType : uint8_t { kNode16 = 1, kNode256 = 2 };
+
+  // ---- Tagged slot words ------------------------------------------------------------------
+  // [63] used  [62] is_leaf  [61:54] partial digit  [53] node type  [52:48] node id
+  // [47:0] offset. Carrying the node type in the pointer lets a reader fetch exactly the
+  // right node size with a single READ, as SMART's typed pointers do.
+  struct Slot {
+    static uint64_t Make(bool is_leaf, uint8_t partial, common::GlobalAddress addr,
+                         NodeType type = NodeType::kNode16);
+    static bool Used(uint64_t w) { return w >> 63; }
+    static bool IsLeaf(uint64_t w) { return (w >> 62) & 1; }
+    static uint8_t Partial(uint64_t w) { return static_cast<uint8_t>(w >> 54); }
+    static NodeType Type(uint64_t w) {
+      return ((w >> 53) & 1) ? NodeType::kNode256 : NodeType::kNode16;
+    }
+    static common::GlobalAddress Addr(uint64_t w);
+  };
+
+  struct NodeImage {
+    NodeType type = NodeType::kNode16;
+    bool valid = true;
+    uint8_t depth = 0;
+    uint8_t prefix_len = 0;
+    uint8_t prefix[8] = {};
+    std::vector<uint64_t> slots;  // 16 or 256 tagged words
+
+    size_t Bytes() const { return 16 + slots.size() * 8; }
+  };
+
+  // Remote layout: [header: 16B][slots: n x 8B][lock: 8B].
+  static constexpr uint32_t kHeaderBytes = 16;
+  static uint32_t NodeBytes(NodeType t) {
+    return kHeaderBytes + (t == NodeType::kNode16 ? 16 : 256) * 8 + 8;
+  }
+  static uint32_t SlotOffset(int i) { return kHeaderBytes + static_cast<uint32_t>(i) * 8; }
+  static uint32_t LockOffset(NodeType t) { return NodeBytes(t) - 8; }
+
+  static uint8_t Digit(common::Key key, int depth) {
+    return static_cast<uint8_t>(key >> (8 * (7 - depth)));
+  }
+
+  void EncodeNode(const NodeImage& node, std::vector<uint8_t>* image) const;
+  bool DecodeNode(const uint8_t* image, size_t len, NodeImage* node) const;
+
+  // Reads a node (remote) with one READ sized by its typed pointer and snapshots it into the
+  // CN cache.
+  std::shared_ptr<const NodeImage> FetchNode(dmsim::Client& client, common::GlobalAddress addr,
+                                             NodeType type);
+  common::GlobalAddress WriteNewNode(dmsim::Client& client, const NodeImage& node);
+  common::GlobalAddress WriteLeaf(dmsim::Client& client, common::Key key,
+                                  common::Value value);
+  bool ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, common::Key* key,
+                common::Value* value);
+
+  void LockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type);
+  void UnlockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type);
+
+  // One descent attempt. `use_cache` false forces remote reads (stale-cache fallback).
+  enum class FindResult { kFound, kNotFound, kRetry };
+  FindResult FindLeaf(dmsim::Client& client, common::Key key, bool use_cache,
+                      common::GlobalAddress* leaf_addr, common::Value* value);
+
+  bool InsertAttempt(dmsim::Client& client, common::Key key, common::Value value,
+                     bool use_cache);
+
+  void ScanNode(dmsim::Client& client, common::GlobalAddress addr, common::Key start,
+                size_t count, std::vector<std::pair<common::Key, common::Value>>* out);
+  void ScanSubtree(dmsim::Client& client, common::GlobalAddress addr, NodeType type,
+                   common::Key fixed, common::Key start, size_t count,
+                   std::vector<std::pair<common::Key, common::Value>>* out);
+
+  common::Value EncodeValue(dmsim::Client& client, common::Key key, common::Value value);
+  bool DecodeValue(dmsim::Client& client, common::Key key, common::Value stored,
+                   common::Value* out);
+
+  // ---- CN-side node cache (LRU over node snapshots) ----------------------------------------
+  class NodeCache {
+   public:
+    explicit NodeCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+    std::shared_ptr<const NodeImage> Get(const common::GlobalAddress& addr);
+    void Put(const common::GlobalAddress& addr, std::shared_ptr<const NodeImage> node);
+    void Invalidate(const common::GlobalAddress& addr);
+    size_t bytes_used() const;
+
+   private:
+    struct Entry {
+      std::shared_ptr<const NodeImage> node;
+      std::list<common::GlobalAddress>::iterator it;
+    };
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::unordered_map<common::GlobalAddress, Entry> map_;
+    std::list<common::GlobalAddress> lru_;
+    size_t bytes_ = 0;
+  };
+
+  dmsim::MemoryPool* pool_;
+  SmartOptions options_;
+  common::GlobalAddress root_;  // a Node256 that is never replaced
+  mutable NodeCache cache_;
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_SMART_H_

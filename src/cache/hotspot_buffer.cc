@@ -1,0 +1,97 @@
+#include "src/cache/hotspot_buffer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cncache {
+
+HotspotBuffer::HotspotBuffer(size_t capacity_bytes)
+    : capacity_entries_(capacity_bytes / kEntryBytes) {}
+
+void HotspotBuffer::OnAccess(common::GlobalAddress leaf, uint16_t index, uint16_t fp) {
+  if (capacity_entries_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t k = KeyOf(leaf, index);
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    if (it->second.fp != fp) {
+      // The tracked entry is outdated (the slot now holds another key): retarget it.
+      it->second.fp = fp;
+      it->second.counter = 1;
+    } else {
+      it->second.counter++;
+    }
+    return;
+  }
+  if (map_.size() >= capacity_entries_) {
+    EvictSomeLocked();
+  }
+  map_[k] = Hotspot{fp, 1};
+}
+
+void HotspotBuffer::Invalidate(common::GlobalAddress leaf, uint16_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.erase(KeyOf(leaf, index));
+}
+
+std::optional<uint16_t> HotspotBuffer::Lookup(common::GlobalAddress leaf, uint16_t home,
+                                              int h, uint16_t span, uint16_t fp) const {
+  if (capacity_entries_ == 0) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t best_counter = 0;
+  std::optional<uint16_t> best;
+  for (int i = 0; i < h; ++i) {
+    const uint16_t idx = static_cast<uint16_t>((home + i) % span);
+    auto it = map_.find(KeyOf(leaf, idx));
+    if (it != map_.end() && it->second.fp == fp && it->second.counter > best_counter) {
+      best_counter = it->second.counter;
+      best = idx;
+    }
+  }
+  if (best.has_value()) {
+    hits_++;
+  } else {
+    misses_++;
+  }
+  return best;
+}
+
+size_t HotspotBuffer::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void HotspotBuffer::EvictSomeLocked() {
+  // Approximate LFU: sample a handful of entries via random hash buckets (O(1) per sample)
+  // and evict the coldest, like Redis does. An exact LFU heap would serialize every access;
+  // the approximation preserves the paper's intent (keep the hottest descriptions resident).
+  constexpr int kSamples = 8;
+  constexpr int kMaxProbes = 64;
+  uint64_t victim_key = 0;
+  uint32_t victim_counter = 0;
+  bool have_victim = false;
+  int sampled = 0;
+  const size_t buckets = map_.bucket_count();
+  for (int probe = 0; probe < kMaxProbes && sampled < kSamples; ++probe) {
+    const size_t b = rng_.Uniform(buckets);
+    for (auto it = map_.begin(b); it != map_.end(b) && sampled < kSamples; ++it) {
+      sampled++;
+      if (!have_victim || it->second.counter < victim_counter) {
+        victim_key = it->first;
+        victim_counter = it->second.counter;
+        have_victim = true;
+      }
+    }
+  }
+  if (have_victim) {
+    map_.erase(victim_key);
+  } else if (!map_.empty()) {
+    map_.erase(map_.begin());
+  }
+}
+
+}  // namespace cncache

@@ -1,0 +1,68 @@
+// Hotness-aware speculative-read support (paper §4.3): a small computing-side LFU buffer
+// mapping (leaf address, key index) to the key's fingerprint and an access counter.
+#ifndef SRC_CACHE_HOTSPOT_BUFFER_H_
+#define SRC_CACHE_HOTSPOT_BUFFER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/rand.h"
+#include "src/common/types.h"
+
+namespace cncache {
+
+class HotspotBuffer {
+ public:
+  // Paper Figure 11: each buffer entry stores an 8-byte leaf address, a 2-byte key index, a
+  // 2-byte fingerprint, and a 4-byte counter.
+  static constexpr size_t kEntryBytes = 16;
+
+  explicit HotspotBuffer(size_t capacity_bytes);
+
+  // Records an access to the entry at `index` of leaf `leaf` holding a key with fingerprint
+  // `fp`. Matches the paper's update rule: fingerprint mismatch resets the counter; hit
+  // increments it; miss inserts (with LFU eviction when full).
+  void OnAccess(common::GlobalAddress leaf, uint16_t index, uint16_t fp);
+
+  // Invalidates one tracked entry (e.g. after observing the speculation failed).
+  void Invalidate(common::GlobalAddress leaf, uint16_t index);
+
+  // The speculative-read probe: among indexes [home, home+h) (mod span) of `leaf`, returns
+  // the hottest tracked entry whose fingerprint matches `fp`, if any.
+  std::optional<uint16_t> Lookup(common::GlobalAddress leaf, uint16_t home, int h,
+                                 uint16_t span, uint16_t fp) const;
+
+  size_t entries() const;
+  size_t capacity_entries() const { return capacity_entries_; }
+  size_t bytes_used() const { return entries() * kEntryBytes; }
+
+  uint64_t lookup_hits() const { return hits_; }
+  uint64_t lookup_misses() const { return misses_; }
+
+ private:
+  struct Hotspot {
+    uint16_t fp = 0;
+    uint32_t counter = 0;
+  };
+
+  static uint64_t KeyOf(common::GlobalAddress leaf, uint16_t index) {
+    // Leaf addresses are >=64-byte aligned, so the low 6 bits of the offset are free for the
+    // in-node index; indexes can exceed 6 bits, so fold the rest into the node id gap.
+    return leaf.Pack() ^ (static_cast<uint64_t>(index) * 0x9e3779b97f4a7c15ULL);
+  }
+
+  void EvictSomeLocked();
+
+  const size_t capacity_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Hotspot> map_;
+  mutable common::Rng rng_{0xb0ff'e7};
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace cncache
+
+#endif  // SRC_CACHE_HOTSPOT_BUFFER_H_

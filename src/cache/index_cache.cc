@@ -1,0 +1,84 @@
+#include "src/cache/index_cache.h"
+
+#include <algorithm>
+
+namespace cncache {
+
+int CachedNode::FindChild(common::Key key) const {
+  // First entry with pivot > key, minus one.
+  auto it = std::upper_bound(entries.begin(), entries.end(), key,
+                             [](common::Key k, const auto& e) { return k < e.first; });
+  return static_cast<int>(it - entries.begin()) - 1;
+}
+
+IndexCache::IndexCache(size_t capacity_bytes, size_t key_bytes)
+    : capacity_bytes_(capacity_bytes), key_bytes_(key_bytes) {}
+
+std::shared_ptr<const CachedNode> IndexCache::Get(const common::GlobalAddress& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(addr);
+  if (it == map_.end()) {
+    misses_++;
+    return nullptr;
+  }
+  hits_++;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.node;
+}
+
+void IndexCache::Put(std::shared_ptr<const CachedNode> node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const common::GlobalAddress addr = node->addr;
+  auto it = map_.find(addr);
+  if (it != map_.end()) {
+    bytes_used_ -= it->second.node->Bytes(key_bytes_);
+    bytes_used_ += node->Bytes(key_bytes_);
+    it->second.node = std::move(node);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  } else {
+    bytes_used_ += node->Bytes(key_bytes_);
+    lru_.push_front(addr);
+    map_[addr] = Slot{std::move(node), lru_.begin()};
+  }
+  EvictIfNeededLocked();
+}
+
+void IndexCache::Invalidate(const common::GlobalAddress& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(addr);
+  if (it == map_.end()) {
+    return;
+  }
+  bytes_used_ -= it->second.node->Bytes(key_bytes_);
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void IndexCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+}
+
+size_t IndexCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_used_;
+}
+
+size_t IndexCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void IndexCache::EvictIfNeededLocked() {
+  while (bytes_used_ > capacity_bytes_ && !lru_.empty()) {
+    const common::GlobalAddress victim = lru_.back();
+    auto it = map_.find(victim);
+    bytes_used_ -= it->second.node->Bytes(key_bytes_);
+    lru_.pop_back();
+    map_.erase(it);
+  }
+}
+
+}  // namespace cncache

@@ -1,0 +1,77 @@
+// Computing-side internal-node cache (paper §3.1): each CN caches part of the index structure
+// under a strict byte budget so remote traversals can be shortcut.
+#ifndef SRC_CACHE_INDEX_CACHE_H_
+#define SRC_CACHE_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace cncache {
+
+// A decoded internal node as cached on the compute node. Immutable once inserted: updates
+// replace the whole snapshot (internal nodes change only on splits).
+struct CachedNode {
+  common::GlobalAddress addr;
+  uint8_t level = 0;
+  common::Key fence_lo = 0;
+  common::Key fence_hi = common::kMaxKey;
+  common::GlobalAddress sibling;
+  // Sorted (pivot, child) pairs; child i covers [pivot_i, pivot_{i+1}).
+  std::vector<std::pair<common::Key, common::GlobalAddress>> entries;
+
+  size_t Bytes(size_t key_bytes) const {
+    // Header (level + fences + sibling) plus per-entry pivot and child pointer.
+    return 16 + 2 * key_bytes + entries.size() * (key_bytes + 8);
+  }
+
+  // Index of the child covering `key`; -1 when key < first pivot.
+  int FindChild(common::Key key) const;
+};
+
+// Size-limited LRU cache keyed by remote node address. Thread-safe: one instance is shared by
+// all clients of a compute node, like the shared local caches in Sherman/SMART/CHIME.
+class IndexCache {
+ public:
+  // `capacity_bytes` is the CN cache budget (paper default: 100 MB per CN).
+  IndexCache(size_t capacity_bytes, size_t key_bytes);
+
+  std::shared_ptr<const CachedNode> Get(const common::GlobalAddress& addr);
+  void Put(std::shared_ptr<const CachedNode> node);
+  void Invalidate(const common::GlobalAddress& addr);
+  void Clear();
+
+  size_t bytes_used() const;
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t entries() const;
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<const CachedNode> node;
+    std::list<common::GlobalAddress>::iterator lru_it;
+  };
+
+  void EvictIfNeededLocked();
+
+  const size_t capacity_bytes_;
+  const size_t key_bytes_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<common::GlobalAddress, Slot> map_;
+  std::list<common::GlobalAddress> lru_;  // front = most recent
+  size_t bytes_used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace cncache
+
+#endif  // SRC_CACHE_INDEX_CACHE_H_

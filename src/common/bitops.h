@@ -1,0 +1,28 @@
+// Bit-manipulation helpers for hopscotch/vacancy bitmaps.
+#ifndef SRC_COMMON_BITOPS_H_
+#define SRC_COMMON_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace common {
+
+constexpr bool TestBit(uint64_t bits, int i) { return (bits >> i) & 1; }
+constexpr uint64_t SetBit(uint64_t bits, int i) { return bits | (uint64_t{1} << i); }
+constexpr uint64_t ClearBit(uint64_t bits, int i) { return bits & ~(uint64_t{1} << i); }
+
+// Index of the lowest set bit; -1 when empty.
+constexpr int LowestSetBit(uint64_t bits) {
+  return bits == 0 ? -1 : std::countr_zero(bits);
+}
+
+constexpr int PopCount(uint64_t bits) { return std::popcount(bits); }
+
+// A mask of n low bits (n in [0, 64]).
+constexpr uint64_t LowMask(int n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+}  // namespace common
+
+#endif  // SRC_COMMON_BITOPS_H_

@@ -1,0 +1,25 @@
+#include "src/common/hash.h"
+
+#include <cstring>
+
+namespace common {
+
+uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+uint64_t Fingerprint64(const void* key, size_t len) {
+  // The first 8 bytes of the key, zero padded, mixed with the length so that prefixes of each
+  // other still get distinct fingerprints in the common case.
+  uint64_t prefix = 0;
+  std::memcpy(&prefix, key, len < 8 ? len : 8);
+  return prefix ^ (Mix64Alt(len) & 0xffULL);
+}
+
+}  // namespace common

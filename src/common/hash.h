@@ -1,0 +1,41 @@
+// 64-bit mixing hashes used for hopscotch home-entry selection and fingerprints.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace common {
+
+// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer. Used as the hash function for
+// hopscotch home entries and key scrambling in workload generators.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Second independent mixer (Murmur3 finalizer) for schemes that need two hash choices.
+constexpr uint64_t Mix64Alt(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  return x ^ (x >> 33);
+}
+
+// FNV-1a over arbitrary bytes, for variable-length keys.
+uint64_t HashBytes(const void* data, size_t len);
+
+// A short fingerprint for speculative-read validation (paper §4.3 stores 2 bytes).
+constexpr uint16_t Fingerprint16(uint64_t key) {
+  return static_cast<uint16_t>(Mix64Alt(key) >> 48);
+}
+
+// 8-byte fingerprint prefix for variable-length keys (paper §4.5).
+uint64_t Fingerprint64(const void* key, size_t len);
+
+}  // namespace common
+
+#endif  // SRC_COMMON_HASH_H_

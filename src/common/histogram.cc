@@ -1,0 +1,104 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace common {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+// Buckets: 4 sub-buckets per power of two, i.e. bucket = 4*log2(v) + next-2-bits.
+int Histogram::BucketFor(uint64_t value) {
+  if (value < 4) {
+    return static_cast<int>(value);
+  }
+  const int log2 = 63 - std::countl_zero(value);
+  const int sub = static_cast<int>((value >> (log2 - 2)) & 3);
+  const int bucket = 4 * log2 + sub;
+  return std::min(bucket, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketLow(int bucket) {
+  if (bucket < 4) {
+    return static_cast<uint64_t>(bucket);
+  }
+  const int log2 = bucket / 4;
+  const int sub = bucket % 4;
+  return (uint64_t{1} << log2) | (static_cast<uint64_t>(sub) << (log2 - 2));
+}
+
+uint64_t Histogram::BucketHigh(int bucket) {
+  if (bucket < 3) {
+    return static_cast<uint64_t>(bucket);
+  }
+  if (bucket >= kBuckets - 1) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return BucketLow(bucket + 1) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      // Linear interpolation inside the bucket, clamped to the observed min/max.
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      const double lo = static_cast<double>(std::max(BucketLow(i), min_));
+      const double hi = static_cast<double>(std::min(BucketHigh(i), max_));
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace common

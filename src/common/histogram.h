@@ -1,0 +1,41 @@
+// Log-bucketed latency histogram with percentile queries.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace common {
+
+// Records non-negative values (typically nanoseconds) into geometric buckets; percentile
+// queries interpolate inside the matched bucket. Accuracy is ~2% per decade, which is plenty
+// for P50/P99 reporting. Not thread-safe; merge per-thread instances with Merge().
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double Mean() const;
+  // p in [0, 100].
+  double Percentile(double p) const;
+
+ private:
+  static constexpr int kBuckets = 256;
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLow(int bucket);
+  static uint64_t BucketHigh(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

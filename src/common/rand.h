@@ -1,0 +1,52 @@
+// Small fast PRNG for workload generation and randomized tests.
+#ifndef SRC_COMMON_RAND_H_
+#define SRC_COMMON_RAND_H_
+
+#include <cstdint>
+
+#include "src/common/hash.h"
+
+namespace common {
+
+// xoshiro256** — fast, high-quality, and deterministic given a seed. Not thread-safe; give
+// each worker its own instance.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x = Mix64(x);
+      s = x;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_RAND_H_

@@ -1,0 +1,14 @@
+#include "src/common/types.h"
+
+#include <cstdio>
+
+namespace common {
+
+std::string ToString(const GlobalAddress& addr) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "mn%u:0x%llx", addr.node_id,
+                static_cast<unsigned long long>(addr.offset));
+  return buf;
+}
+
+}  // namespace common

@@ -1,0 +1,67 @@
+// Core value types shared by the DM substrate, the CHIME index, and the baselines.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace common {
+
+// Fixed-width key used by the in-node layouts. Variable-length keys are supported through the
+// indirect mode (first 8 bytes act as a fingerprint, see core/indirect.h).
+using Key = uint64_t;
+using Value = uint64_t;
+
+inline constexpr Key kMinKey = 0;
+inline constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+// A remote address in the memory pool: which memory node and the byte offset inside its
+// registered region. Packed into 8 bytes so it fits in child/sibling pointers and can be
+// swapped with a single RDMA CAS.
+struct GlobalAddress {
+  uint16_t node_id = 0;
+  uint64_t offset : 48 = 0;
+
+  constexpr GlobalAddress() = default;
+  constexpr GlobalAddress(uint16_t node, uint64_t off) : node_id(node), offset(off) {}
+
+  static constexpr GlobalAddress Null() { return GlobalAddress(); }
+
+  bool is_null() const { return node_id == 0 && offset == 0; }
+
+  uint64_t Pack() const { return (static_cast<uint64_t>(node_id) << 48) | offset; }
+
+  static GlobalAddress Unpack(uint64_t raw) {
+    GlobalAddress addr;
+    addr.node_id = static_cast<uint16_t>(raw >> 48);
+    addr.offset = raw & ((uint64_t{1} << 48) - 1);
+    return addr;
+  }
+
+  GlobalAddress operator+(uint64_t delta) const {
+    return GlobalAddress(node_id, offset + delta);
+  }
+
+  friend bool operator==(const GlobalAddress& a, const GlobalAddress& b) {
+    return a.node_id == b.node_id && a.offset == b.offset;
+  }
+  friend bool operator!=(const GlobalAddress& a, const GlobalAddress& b) { return !(a == b); }
+};
+
+static_assert(sizeof(GlobalAddress) == 8, "GlobalAddress must pack into 8 bytes");
+
+std::string ToString(const GlobalAddress& addr);
+
+}  // namespace common
+
+template <>
+struct std::hash<common::GlobalAddress> {
+  size_t operator()(const common::GlobalAddress& a) const noexcept {
+    return std::hash<uint64_t>()(a.Pack());
+  }
+};
+
+#endif  // SRC_COMMON_TYPES_H_

@@ -1,0 +1,36 @@
+#include "src/common/zipf.h"
+
+#include <cmath>
+
+namespace common {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // For the large n used by benches this is a one-time cost at construction.
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double v = eta_ * u - eta_ + 1.0;
+  return static_cast<uint64_t>(static_cast<double>(n_) * std::pow(v, alpha_));
+}
+
+}  // namespace common

@@ -1,0 +1,65 @@
+// Zipfian and latest request distributions as defined by the YCSB benchmark.
+#ifndef SRC_COMMON_ZIPF_H_
+#define SRC_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rand.h"
+
+namespace common {
+
+// YCSB-style Zipfian generator over [0, n). Items near 0 are the most popular. Uses the
+// Gray et al. rejection-free inversion method with a precomputed zeta value, matching the
+// reference YCSB implementation so skew parameters are comparable with the paper.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+// Scrambled Zipfian: spreads the popular items across the whole key space (YCSB default) so
+// hotspots do not cluster inside one leaf node.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta = 0.99) : zipf_(n, theta), n_(n) {}
+
+  uint64_t Next(Rng& rng) { return Mix64(zipf_.Next(rng)) % n_; }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t n_;
+};
+
+// Latest distribution (YCSB D): skewed towards the most recently inserted items.
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t n, double theta = 0.99) : zipf_(n, theta), max_(n) {}
+
+  void set_max(uint64_t n) { max_ = n; }
+
+  uint64_t Next(Rng& rng) {
+    uint64_t off = zipf_.Next(rng) % max_;
+    return max_ - 1 - off;
+  }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t max_;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_ZIPF_H_

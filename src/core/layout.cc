@@ -1,0 +1,322 @@
+#include "src/core/layout.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace chime {
+
+void StoreUint(uint8_t* p, uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    p[i] = i < 8 ? static_cast<uint8_t>(v >> (8 * i)) : 0;
+  }
+}
+
+uint64_t LoadUint(const uint8_t* p, int bytes) {
+  uint64_t v = 0;
+  const int n = bytes < 8 ? bytes : 8;
+  for (int i = 0; i < n; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+// ---- CellCodec ------------------------------------------------------------------------------
+
+CellSpec CellCodec::Place(uint32_t offset, uint32_t data_len) {
+  CellSpec spec;
+  spec.data_len = data_len;
+  const uint32_t line_rem = static_cast<uint32_t>(kLineBytes - offset % kLineBytes);
+  if (data_len + 1 <= line_rem) {
+    // Fits inside the current cache line: one leading version byte.
+    spec.offset = offset;
+    spec.total_len = data_len + 1;
+    return spec;
+  }
+  // Start on a fresh line; one version byte per occupied line.
+  spec.offset = (offset + kLineBytes - 1) / kLineBytes * kLineBytes;
+  const uint32_t lines = (data_len + kLineBytes - 2) / (kLineBytes - 1);
+  spec.total_len = data_len + lines;
+  return spec;
+}
+
+namespace {
+
+// Iterates the (version?, chunk) structure of a cell: calls fn(byte_offset, is_version,
+// data_index). Data bytes fill every non-version position.
+template <typename Fn>
+void WalkCell(const CellSpec& spec, Fn&& fn) {
+  uint32_t pos = spec.offset;
+  uint32_t data_i = 0;
+  const uint32_t end = spec.offset + spec.total_len;
+  while (pos < end) {
+    const bool at_cell_start = pos == spec.offset;
+    const bool at_line_start = pos % kLineBytes == 0;
+    if (at_cell_start || at_line_start) {
+      fn(pos, true, 0u);
+      pos++;
+      continue;
+    }
+    fn(pos, false, data_i++);
+    pos++;
+  }
+  assert(data_i == spec.data_len);
+}
+
+}  // namespace
+
+void CellCodec::Store(uint8_t* base, const CellSpec& spec, const uint8_t* data, uint8_t ver) {
+  WalkCell(spec, [&](uint32_t pos, bool is_ver, uint32_t data_i) {
+    base[pos] = is_ver ? ver : data[data_i];
+  });
+}
+
+bool CellCodec::Load(const uint8_t* base, const CellSpec& spec, uint8_t* data, uint8_t* ver) {
+  bool first = true;
+  bool consistent = true;
+  uint8_t v0 = 0;
+  WalkCell(spec, [&](uint32_t pos, bool is_ver, uint32_t data_i) {
+    if (is_ver) {
+      if (first) {
+        v0 = base[pos];
+        first = false;
+      } else if (base[pos] != v0) {
+        consistent = false;
+      }
+    } else if (data != nullptr) {
+      data[data_i] = base[pos];
+    }
+  });
+  *ver = v0;
+  return consistent;
+}
+
+void CellCodec::SetVersion(uint8_t* base, const CellSpec& spec, uint8_t ver) {
+  WalkCell(spec, [&](uint32_t pos, bool is_ver, uint32_t) {
+    if (is_ver) {
+      base[pos] = ver;
+    }
+  });
+}
+
+uint8_t CellCodec::PeekVersion(const uint8_t* base, const CellSpec& spec) {
+  return base[spec.offset];
+}
+
+void CellCodec::VersionOffsets(const CellSpec& spec, std::vector<uint32_t>* out) {
+  WalkCell(spec, [&](uint32_t pos, bool is_ver, uint32_t) {
+    if (is_ver) {
+      out->push_back(pos);
+    }
+  });
+}
+
+// ---- LeafLayout -----------------------------------------------------------------------------
+
+LeafLayout::LeafLayout(const ChimeOptions& options)
+    : span_(options.span),
+      h_(options.neighborhood),
+      groups_(options.span / options.neighborhood),
+      key_bytes_(options.indirect_values ? 8 : options.key_bytes),
+      value_bytes_(options.indirect_values ? 8 : options.value_bytes),
+      with_fences_(!options.sibling_validation) {
+  // Entry payload: 2-byte hopscotch bitmap + key + value. In indirect mode the key field is
+  // the 8-byte fingerprint prefix and the value field the out-of-node block pointer (§4.5).
+  entry_data_len_ = 2 + static_cast<uint32_t>(key_bytes_) + static_cast<uint32_t>(value_bytes_);
+  // Replica payload: valid byte + sibling pointer (+ fence keys in fence mode).
+  meta_data_len_ = 1 + 8 + (with_fences_ ? 2 * static_cast<uint32_t>(key_bytes_) : 0);
+
+  uint32_t cursor = 0;
+  entry_cells_.resize(static_cast<size_t>(span_));
+  replica_cells_.resize(static_cast<size_t>(groups_));
+  for (int g = 0; g < groups_; ++g) {
+    replica_cells_[g] = CellCodec::Place(cursor, meta_data_len_);
+    cursor = replica_cells_[g].end();
+    for (int i = 0; i < h_; ++i) {
+      const int idx = g * h_ + i;
+      entry_cells_[idx] = CellCodec::Place(cursor, entry_data_len_);
+      cursor = entry_cells_[idx].end();
+    }
+  }
+  range_lo_cell_ = CellCodec::Place(cursor, static_cast<uint32_t>(key_bytes_));
+  cursor = range_lo_cell_.end();
+  lock_offset_ = (cursor + 7) / 8 * 8;
+  node_bytes_ = lock_offset_ + 8;
+
+  vac_group_size_ = (span_ + LeafLock::kVacancyBits - 1) / LeafLock::kVacancyBits;
+  vac_groups_ = (span_ + vac_group_size_ - 1) / vac_group_size_;
+}
+
+void LeafLayout::EncodeEntry(const LeafEntry& e, uint8_t* data) const {
+  StoreUint(data, e.hop_bitmap, 2);
+  StoreUint(data + 2, e.used ? e.key : 0, key_bytes_);
+  StoreUint(data + 2 + key_bytes_, e.value, value_bytes_);
+}
+
+LeafEntry LeafLayout::DecodeEntry(const uint8_t* data) const {
+  LeafEntry e;
+  e.hop_bitmap = static_cast<uint16_t>(LoadUint(data, 2));
+  e.key = LoadUint(data + 2, key_bytes_);
+  e.value = LoadUint(data + 2 + key_bytes_, value_bytes_);
+  e.used = e.key != 0;
+  return e;
+}
+
+void LeafLayout::EncodeMeta(const LeafMeta& m, uint8_t* data) const {
+  data[0] = m.valid ? 1 : 0;
+  StoreUint(data + 1, m.sibling.Pack(), 8);
+  if (with_fences_) {
+    StoreUint(data + 9, m.fence_lo, key_bytes_);
+    StoreUint(data + 9 + key_bytes_, m.fence_hi, key_bytes_);
+  }
+}
+
+LeafMeta LeafLayout::DecodeMeta(const uint8_t* data) const {
+  LeafMeta m;
+  m.valid = data[0] != 0;
+  m.sibling = common::GlobalAddress::Unpack(LoadUint(data + 1, 8));
+  if (with_fences_) {
+    m.fence_lo = LoadUint(data + 9, key_bytes_);
+    m.fence_hi = LoadUint(data + 9 + key_bytes_, key_bytes_);
+  }
+  return m;
+}
+
+void LeafLayout::EncodeRangeLo(common::Key lo, uint8_t* data) const {
+  StoreUint(data, lo, key_bytes_);
+}
+
+common::Key LeafLayout::DecodeRangeLo(const uint8_t* data) const {
+  return LoadUint(data, key_bytes_);
+}
+
+uint32_t LeafLayout::metadata_bytes_per_node() const {
+  // Everything that is not key/value payload: replicas (incl. their version bytes), hopscotch
+  // bitmaps, entry version bytes, the lock word, and alignment padding.
+  const uint32_t kv_payload =
+      static_cast<uint32_t>(span_) * static_cast<uint32_t>(key_bytes_ + value_bytes_);
+  return node_bytes_ - kv_payload;
+}
+
+void LeafLayout::InitNode(std::vector<uint8_t>* image, const LeafMeta& meta) const {
+  image->assign(node_bytes_, 0);
+  std::vector<uint8_t> data(meta_data_len_ > entry_data_len_ ? meta_data_len_
+                                                             : entry_data_len_);
+  std::fill(data.begin(), data.end(), 0);
+  EncodeMeta(meta, data.data());
+  for (int g = 0; g < groups_; ++g) {
+    CellCodec::Store(image->data(), replica_cells_[g], data.data(), PackVersion(0, 0));
+  }
+  std::fill(data.begin(), data.end(), 0);
+  for (int i = 0; i < span_; ++i) {
+    CellCodec::Store(image->data(), entry_cells_[i], data.data(), PackVersion(0, 0));
+  }
+  std::fill(data.begin(), data.end(), 0);
+  EncodeRangeLo(meta.fence_lo, data.data());
+  CellCodec::Store(image->data(), range_lo_cell_, data.data(), PackVersion(0, 0));
+  const uint64_t lock = LeafLock::Pack(false, LeafLock::kArgmaxUnknown,
+                                       (uint64_t{1} << vac_groups_) - 1);
+  std::memcpy(image->data() + lock_offset_, &lock, 8);
+}
+
+// ---- InternalLayout -------------------------------------------------------------------------
+
+InternalLayout::InternalLayout(const ChimeOptions& options)
+    : span_(options.span), key_bytes_(options.key_bytes) {
+  header_data_len_ = 1 + 1 + 2 * static_cast<uint32_t>(key_bytes_) + 8 + 2;
+  entry_data_len_ = static_cast<uint32_t>(key_bytes_) + 8;
+  uint32_t cursor = 0;
+  header_cell_ = CellCodec::Place(cursor, header_data_len_);
+  cursor = header_cell_.end();
+  entry_cells_.resize(static_cast<size_t>(span_));
+  for (int i = 0; i < span_; ++i) {
+    entry_cells_[i] = CellCodec::Place(cursor, entry_data_len_);
+    cursor = entry_cells_[i].end();
+  }
+  lock_offset_ = (cursor + 7) / 8 * 8;
+  node_bytes_ = lock_offset_ + 8;
+}
+
+void InternalLayout::EncodeHeader(const InternalHeader& h, uint8_t* data) const {
+  data[0] = h.level;
+  data[1] = h.valid ? 1 : 0;
+  StoreUint(data + 2, h.fence_lo, key_bytes_);
+  StoreUint(data + 2 + key_bytes_, h.fence_hi, key_bytes_);
+  StoreUint(data + 2 + 2 * key_bytes_, h.sibling.Pack(), 8);
+  StoreUint(data + 2 + 2 * key_bytes_ + 8, h.count, 2);
+}
+
+InternalHeader InternalLayout::DecodeHeader(const uint8_t* data) const {
+  InternalHeader h;
+  h.level = data[0];
+  h.valid = data[1] != 0;
+  h.fence_lo = LoadUint(data + 2, key_bytes_);
+  h.fence_hi = LoadUint(data + 2 + key_bytes_, key_bytes_);
+  h.sibling = common::GlobalAddress::Unpack(LoadUint(data + 2 + 2 * key_bytes_, 8));
+  h.count = static_cast<uint16_t>(LoadUint(data + 2 + 2 * key_bytes_ + 8, 2));
+  return h;
+}
+
+void InternalLayout::EncodeEntry(const InternalEntry& e, uint8_t* data) const {
+  StoreUint(data, e.pivot, key_bytes_);
+  StoreUint(data + key_bytes_, e.child.Pack(), 8);
+}
+
+InternalEntry InternalLayout::DecodeEntry(const uint8_t* data) const {
+  InternalEntry e;
+  e.pivot = LoadUint(data, key_bytes_);
+  e.child = common::GlobalAddress::Unpack(LoadUint(data + key_bytes_, 8));
+  return e;
+}
+
+void InternalLayout::EncodeNode(const InternalHeader& header,
+                                const std::vector<InternalEntry>& entries, uint8_t nv,
+                                std::vector<uint8_t>* image) const {
+  assert(entries.size() <= static_cast<size_t>(span_));
+  image->assign(node_bytes_, 0);
+  std::vector<uint8_t> data(header_data_len_ > entry_data_len_ ? header_data_len_
+                                                               : entry_data_len_);
+  InternalHeader h = header;
+  h.count = static_cast<uint16_t>(entries.size());
+  EncodeHeader(h, data.data());
+  const uint8_t ver = PackVersion(nv, 0);
+  CellCodec::Store(image->data(), header_cell_, data.data(), ver);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EncodeEntry(entries[i], data.data());
+    CellCodec::Store(image->data(), entry_cells_[i], data.data(), ver);
+  }
+  for (size_t i = entries.size(); i < static_cast<size_t>(span_); ++i) {
+    std::fill(data.begin(), data.end(), 0);
+    CellCodec::Store(image->data(), entry_cells_[i], data.data(), ver);
+  }
+  // Lock word cleared (unlocked).
+  std::memset(image->data() + lock_offset_, 0, 8);
+}
+
+bool InternalLayout::DecodeNode(const uint8_t* image, InternalHeader* header,
+                                std::vector<InternalEntry>* entries) const {
+  std::vector<uint8_t> data(header_data_len_ > entry_data_len_ ? header_data_len_
+                                                               : entry_data_len_);
+  uint8_t ver0 = 0;
+  if (!CellCodec::Load(image, header_cell_, data.data(), &ver0)) {
+    return false;
+  }
+  *header = DecodeHeader(data.data());
+  if (header->count > span_) {
+    return false;  // torn header
+  }
+  entries->clear();
+  entries->reserve(header->count);
+  for (int i = 0; i < header->count; ++i) {
+    uint8_t ver = 0;
+    if (!CellCodec::Load(image, entry_cells_[i], data.data(), &ver)) {
+      return false;
+    }
+    if (VersionNv(ver) != VersionNv(ver0)) {
+      return false;  // torn node write
+    }
+    entries->push_back(DecodeEntry(data.data()));
+  }
+  return true;
+}
+
+}  // namespace chime

@@ -1,0 +1,232 @@
+// Remote node layouts and the two-level cache-line version codec (paper §4.1, Figs 6 & 10).
+//
+// Nodes are serialized as a sequence of *cells* (a header or metadata replica, or one entry)
+// packed into 64-byte cache lines. Every cell starts with a version byte, and a cell spanning
+// multiple cache lines carries one version byte at the start of each of its lines — the
+// "cache line versions". A version byte holds the 4-bit node-level version (NV) in its high
+// nibble and the 4-bit entry-level version (EV) in its low nibble:
+//   * a node write increments NV in every version byte of the node;
+//   * an entry write increments EV in the version bytes of that entry only.
+// Readers require all fetched NVs to agree and, within each cell, all EVs to agree. Cells
+// never straddle a cache line without a leading version byte, so together with the fabric's
+// per-line atomicity every torn read is detectable.
+#ifndef SRC_CORE_LAYOUT_H_
+#define SRC_CORE_LAYOUT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/options.h"
+
+namespace chime {
+
+inline constexpr size_t kLineBytes = 64;
+
+inline uint8_t PackVersion(uint8_t nv, uint8_t ev) {
+  return static_cast<uint8_t>((nv & 0xF) << 4 | (ev & 0xF));
+}
+inline uint8_t VersionNv(uint8_t ver) { return ver >> 4; }
+inline uint8_t VersionEv(uint8_t ver) { return ver & 0xF; }
+
+// Where a cell lives inside a node image and how its bytes split into version bytes and data.
+struct CellSpec {
+  uint32_t offset = 0;    // byte offset of the cell within the node
+  uint32_t data_len = 0;  // payload bytes (excluding version bytes)
+  uint32_t total_len = 0; // payload + version bytes
+
+  uint32_t end() const { return offset + total_len; }
+};
+
+// Reads/writes a cell in a buffer that is addressed with node-relative offsets (`base` points
+// at node offset 0; for partial reads pass `buffer - range_start`).
+class CellCodec {
+ public:
+  // Lays the cell down at `offset` (possibly bumped to the next line) and returns its spec.
+  static CellSpec Place(uint32_t offset, uint32_t data_len);
+
+  static void Store(uint8_t* base, const CellSpec& spec, const uint8_t* data, uint8_t ver);
+  // Returns false when the cell's version bytes disagree in EV (torn entry write). *ver gets
+  // the first version byte either way.
+  static bool Load(const uint8_t* base, const CellSpec& spec, uint8_t* data, uint8_t* ver);
+  static void SetVersion(uint8_t* base, const CellSpec& spec, uint8_t ver);
+  static uint8_t PeekVersion(const uint8_t* base, const CellSpec& spec);
+  // Collects every version-byte offset of the cell (for NV uniformity checks).
+  static void VersionOffsets(const CellSpec& spec, std::vector<uint32_t>* out);
+};
+
+// ---- Leaf nodes (hopscotch hash tables, paper Fig 10) --------------------------------------
+//
+// Image:  [replica 0][entry 0 .. entry H-1][replica 1][entry H .. ] ... [lock word]
+// A metadata replica {valid, sibling pointer, (fence keys)} precedes every H entries so any
+// neighborhood read covers exactly one replica. The 8-byte lock word packs
+// [lock:1][argmax:10][vacancy bitmap:53] (paper §4.2.1/§4.2.3).
+
+struct LeafEntry {
+  bool used = false;
+  uint16_t hop_bitmap = 0;
+  common::Key key = 0;
+  common::Value value = 0;
+};
+
+struct LeafMeta {
+  bool valid = true;
+  common::GlobalAddress sibling;
+  // Only serialized when sibling_validation is off (fence-key mode).
+  common::Key fence_lo = 0;
+  common::Key fence_hi = common::kMaxKey;
+};
+
+// Lock word codec.
+class LeafLock {
+ public:
+  static constexpr uint64_t kLockBit = uint64_t{1} << 63;
+  static constexpr int kArgmaxBits = 10;
+  static constexpr int kVacancyBits = 53;
+  static constexpr uint32_t kArgmaxUnknown = (1u << kArgmaxBits) - 1;
+
+  static uint64_t Pack(bool locked, uint32_t argmax, uint64_t vacancy) {
+    return (locked ? kLockBit : 0) |
+           (static_cast<uint64_t>(argmax & kArgmaxUnknown) << kVacancyBits) |
+           (vacancy & ((uint64_t{1} << kVacancyBits) - 1));
+  }
+  static bool Locked(uint64_t w) { return w & kLockBit; }
+  static uint32_t Argmax(uint64_t w) {
+    return static_cast<uint32_t>(w >> kVacancyBits) & kArgmaxUnknown;
+  }
+  static uint64_t Vacancy(uint64_t w) { return w & ((uint64_t{1} << kVacancyBits) - 1); }
+};
+
+class LeafLayout {
+ public:
+  explicit LeafLayout(const ChimeOptions& options);
+
+  int span() const { return span_; }
+  int h() const { return h_; }
+  int groups() const { return groups_; }
+  uint32_t node_bytes() const { return node_bytes_; }
+  uint32_t lock_offset() const { return lock_offset_; }
+  const CellSpec& entry_cell(int idx) const { return entry_cells_[idx]; }
+  const CellSpec& replica_cell(int g) const { return replica_cells_[g]; }
+  // The node's range floor: one non-replicated key written at node creation and immutable
+  // afterwards (a left split half keeps its floor). Read only on the rare half-split miss
+  // path to decide precisely whether a key moved to the sibling. This closes a gap in the
+  // paper's argmax corner-case handling for nodes emptied by deletes.
+  const CellSpec& range_lo_cell() const { return range_lo_cell_; }
+
+  // Entries covered by one vacancy-bitmap bit ("map each bit to several entries as evenly as
+  // possible", paper §4.2.1).
+  int vacancy_group_size() const { return vac_group_size_; }
+  int vacancy_groups() const { return vac_groups_; }
+  int VacancyGroupOf(int entry_idx) const { return entry_idx / vac_group_size_; }
+  int VacancyGroupStart(int g) const { return g * vac_group_size_; }
+  int VacancyGroupEnd(int g) const {  // inclusive
+    const int end = (g + 1) * vac_group_size_ - 1;
+    return end < span_ ? end : span_ - 1;
+  }
+
+  // Serialization of a single entry/replica payload into/out of a cell data buffer.
+  void EncodeEntry(const LeafEntry& e, uint8_t* data) const;
+  LeafEntry DecodeEntry(const uint8_t* data) const;
+  void EncodeMeta(const LeafMeta& m, uint8_t* data) const;
+  LeafMeta DecodeMeta(const uint8_t* data) const;
+
+  uint32_t entry_data_len() const { return entry_data_len_; }
+  uint32_t meta_data_len() const { return meta_data_len_; }
+
+  // Per-node metadata bytes excluding KV payload.
+  uint32_t metadata_bytes_per_node() const;
+  // Bytes spent on the replicated leaf metadata alone (the Fig 16 metric: fence-key replicas
+  // vs sibling-pointer replicas).
+  uint32_t replica_metadata_bytes_per_node() const {
+    return static_cast<uint32_t>(groups_) * replica_cells_[0].total_len;
+  }
+
+  // Builds the image of a fresh leaf node (all entries empty, all NV/EV zero) in `image`
+  // (resized to node_bytes()).
+  void InitNode(std::vector<uint8_t>* image, const LeafMeta& meta) const;
+
+  void EncodeRangeLo(common::Key lo, uint8_t* data) const;
+  common::Key DecodeRangeLo(const uint8_t* data) const;
+
+ private:
+  int span_;
+  int h_;
+  int groups_;
+  int vac_group_size_;
+  int vac_groups_;
+  int key_bytes_;
+  int value_bytes_;
+  bool with_fences_;
+  uint32_t entry_data_len_;
+  uint32_t meta_data_len_;
+  uint32_t node_bytes_;
+  uint32_t lock_offset_;
+  std::vector<CellSpec> entry_cells_;
+  std::vector<CellSpec> replica_cells_;
+  CellSpec range_lo_cell_;
+};
+
+// ---- Internal nodes (B+-tree, paper Fig 6) -------------------------------------------------
+//
+// Image: [header][entry 0 .. entry span-1][lock word]. Internal nodes are always read and
+// written whole (they change only during splits), so only node-level versions matter here.
+
+struct InternalHeader {
+  uint8_t level = 1;  // leaves are level 0; leaf parents level 1
+  bool valid = true;
+  common::Key fence_lo = 0;
+  common::Key fence_hi = common::kMaxKey;
+  common::GlobalAddress sibling;
+  uint16_t count = 0;
+};
+
+struct InternalEntry {
+  common::Key pivot = 0;
+  common::GlobalAddress child;
+};
+
+class InternalLayout {
+ public:
+  explicit InternalLayout(const ChimeOptions& options);
+
+  int span() const { return span_; }
+  uint32_t node_bytes() const { return node_bytes_; }
+  uint32_t lock_offset() const { return lock_offset_; }
+  const CellSpec& header_cell() const { return header_cell_; }
+  const CellSpec& entry_cell(int idx) const { return entry_cells_[idx]; }
+
+  void EncodeHeader(const InternalHeader& h, uint8_t* data) const;
+  InternalHeader DecodeHeader(const uint8_t* data) const;
+  void EncodeEntry(const InternalEntry& e, uint8_t* data) const;
+  InternalEntry DecodeEntry(const uint8_t* data) const;
+
+  uint32_t header_data_len() const { return header_data_len_; }
+  uint32_t entry_data_len() const { return entry_data_len_; }
+
+  // Serializes a whole node with uniform version `ver` into `image`.
+  void EncodeNode(const InternalHeader& header, const std::vector<InternalEntry>& entries,
+                  uint8_t nv, std::vector<uint8_t>* image) const;
+  // Parses a whole node image; returns false on version inconsistency (torn read).
+  bool DecodeNode(const uint8_t* image, InternalHeader* header,
+                  std::vector<InternalEntry>* entries) const;
+
+ private:
+  int span_;
+  int key_bytes_;
+  uint32_t header_data_len_;
+  uint32_t entry_data_len_;
+  uint32_t node_bytes_;
+  uint32_t lock_offset_;
+  CellSpec header_cell_;
+  std::vector<CellSpec> entry_cells_;
+};
+
+// Little-endian fixed-width integer helpers used by the codecs.
+void StoreUint(uint8_t* p, uint64_t v, int bytes);
+uint64_t LoadUint(const uint8_t* p, int bytes);
+
+}  // namespace chime
+
+#endif  // SRC_CORE_LAYOUT_H_

@@ -1,0 +1,47 @@
+// Tunables of the CHIME index (paper §5.1 "Parameters" lists the defaults).
+#ifndef SRC_CORE_OPTIONS_H_
+#define SRC_CORE_OPTIONS_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace chime {
+
+struct ChimeOptions {
+  // Entries per node, for both internal and hopscotch leaf nodes (paper default 64).
+  int span = 64;
+  // Hopscotch neighborhood size H (paper default 8; the 2-byte hopscotch bitmap supports 16).
+  int neighborhood = 8;
+  // On-layout key/value sizes in bytes. Logical keys/values are 8-byte integers; larger sizes
+  // pad the layout to model the bandwidth of bigger inline items (paper Figs 16, 18c).
+  int key_bytes = 8;
+  int value_bytes = 8;
+
+  // Indirect (variable-length) mode: leaf entries store an 8-byte fingerprint-prefix plus an
+  // 8-byte pointer to an out-of-node block holding the full KV (paper §4.5, Fig 13/18d).
+  bool indirect_values = false;
+  // Size of the out-of-node block in indirect mode.
+  int indirect_block_bytes = 64;
+
+  // Feature flags, used by the Fig 15 factor analysis to turn each technique off.
+  bool vacancy_piggyback = true;      // §4.2.1: vacancy bitmap rides on the lock masked-CAS
+  bool metadata_replication = true;   // §4.2.2: leaf metadata replica every H entries
+  bool sibling_validation = true;     // §4.2.3: reuse sibling pointers instead of fence keys
+  bool speculative_read = true;       // §4.3: hotness-aware speculative reads
+
+  // Computing-side budgets (paper defaults: 100 MB cache, 30 MB hotspot buffer per CN).
+  size_t cache_bytes = 100ULL << 20;
+  size_t hotspot_buffer_bytes = 30ULL << 20;
+
+  void Validate() const {
+    assert(span >= 2 && span <= 1024);
+    assert(neighborhood >= 1 && neighborhood <= 16);
+    assert(span % neighborhood == 0 && "span must be a multiple of the neighborhood");
+    assert(key_bytes >= 8 && value_bytes >= 8);
+  }
+};
+
+}  // namespace chime
+
+#endif  // SRC_CORE_OPTIONS_H_

@@ -1,0 +1,537 @@
+#include "src/core/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "src/common/bitops.h"
+#include "src/common/hash.h"
+
+namespace chime {
+
+namespace {
+
+// Bounded-retry parameters. Validation failures are transient (a concurrent write was caught
+// mid-flight), so retries are cheap; the restart bound only guards against livelock bugs.
+constexpr int kMaxOpRestarts = 256;
+constexpr int kMaxReadRetries = 100000;
+
+void CpuRelax(int spin) {
+  if (spin % 64 == 63) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+// ---- Construction ---------------------------------------------------------------------------
+
+ChimeTree::ChimeTree(dmsim::MemoryPool* pool, const ChimeOptions& options)
+    : pool_(pool),
+      options_(options),
+      leaf_layout_(options),
+      internal_layout_(options),
+      cache_(options.cache_bytes, static_cast<size_t>(options.key_bytes)),
+      hotspot_(options.speculative_read ? options.hotspot_buffer_bytes : 0) {
+  options_.Validate();
+  dmsim::Client boot(pool_, /*client_id=*/-1);
+  boot.BeginOp();
+
+  root_ptr_addr_ = boot.Alloc(8, 8);
+
+  // One empty leaf...
+  const common::GlobalAddress leaf_addr =
+      boot.Alloc(leaf_layout_.node_bytes(), kLineBytes);
+  std::vector<uint8_t> image;
+  LeafMeta leaf_meta;
+  leaf_meta.valid = true;
+  leaf_meta.sibling = common::GlobalAddress::Null();
+  leaf_layout_.InitNode(&image, leaf_meta);
+  boot.Write(leaf_addr, image.data(), static_cast<uint32_t>(image.size()));
+
+  // ...under a level-1 root.
+  const common::GlobalAddress root_addr =
+      boot.Alloc(internal_layout_.node_bytes(), kLineBytes);
+  InternalHeader header;
+  header.level = 1;
+  header.valid = true;
+  header.fence_lo = common::kMinKey;
+  header.fence_hi = common::kMaxKey;
+  header.sibling = common::GlobalAddress::Null();
+  std::vector<InternalEntry> entries{{common::kMinKey, leaf_addr}};
+  internal_layout_.EncodeNode(header, entries, /*nv=*/0, &image);
+  boot.Write(root_addr, image.data(), static_cast<uint32_t>(image.size()));
+
+  const uint64_t packed = root_addr.Pack();
+  boot.Write(root_ptr_addr_, &packed, 8);
+  boot.AbortOp();
+  cached_root_.store(packed, std::memory_order_release);
+}
+
+// ---- Root helpers ----------------------------------------------------------------------------
+
+common::GlobalAddress ChimeTree::ReadRootPtr(dmsim::Client& client) {
+  uint64_t packed = 0;
+  client.Read(root_ptr_addr_, &packed, 8);
+  cached_root_.store(packed, std::memory_order_release);
+  return common::GlobalAddress::Unpack(packed);
+}
+
+common::GlobalAddress ChimeTree::CachedRoot(dmsim::Client& client) {
+  const uint64_t packed = cached_root_.load(std::memory_order_acquire);
+  if (packed != 0) {
+    return common::GlobalAddress::Unpack(packed);
+  }
+  return ReadRootPtr(client);
+}
+
+void ChimeTree::RefreshRoot(dmsim::Client& client) { ReadRootPtr(client); }
+
+// ---- Internal-node fetch ---------------------------------------------------------------------
+
+std::shared_ptr<const cncache::CachedNode> ChimeTree::FetchInternal(
+    dmsim::Client& client, common::GlobalAddress addr) {
+  std::vector<uint8_t> buf(internal_layout_.node_bytes());
+  InternalHeader header;
+  std::vector<InternalEntry> entries;
+  for (int retry = 0; retry < kMaxReadRetries; ++retry) {
+    client.Read(addr, buf.data(), internal_layout_.lock_offset());
+    if (internal_layout_.DecodeNode(buf.data(), &header, &entries)) {
+      if (!header.valid) {
+        return nullptr;
+      }
+      auto node = std::make_shared<cncache::CachedNode>();
+      node->addr = addr;
+      node->level = header.level;
+      node->fence_lo = header.fence_lo;
+      node->fence_hi = header.fence_hi;
+      node->sibling = header.sibling;
+      node->entries.reserve(entries.size());
+      for (const auto& e : entries) {
+        node->entries.emplace_back(e.pivot, e.child);
+      }
+      cache_.Put(node);
+      if (header.level > height_.load(std::memory_order_relaxed)) {
+        height_.store(header.level, std::memory_order_relaxed);
+      }
+      return node;
+    }
+    client.CountRetry();
+    CpuRelax(retry);
+  }
+  assert(false && "internal node read never validated");
+  return nullptr;
+}
+
+// ---- Traversal -------------------------------------------------------------------------------
+
+bool ChimeTree::LocateLeaf(dmsim::Client& client, common::Key key, LeafRef* ref) {
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    common::GlobalAddress cur = CachedRoot(client);
+    ref->path.clear();
+    bool failed = false;
+    int hops_at_level = 0;
+    while (true) {
+      std::shared_ptr<const cncache::CachedNode> node = cache_.Get(cur);
+      bool from_cache = node != nullptr;
+      if (from_cache) {
+        client.CountCacheHit();
+      } else {
+        client.CountCacheMiss();
+        node = FetchInternal(client, cur);
+        if (node == nullptr) {
+          // Deleted node: refresh the root and restart.
+          RefreshRoot(client);
+          failed = true;
+          break;
+        }
+      }
+      if (key >= node->fence_hi) {
+        // Half-split at this level: chase the sibling. A stale *cached* node may also route
+        // us here; bound the walk and fall back to a fresh remote read.
+        if (node->sibling.is_null() || ++hops_at_level > 64) {
+          cache_.Invalidate(cur);
+          RefreshRoot(client);
+          failed = true;
+          break;
+        }
+        cur = node->sibling;
+        continue;
+      }
+      if (key < node->fence_lo) {
+        cache_.Invalidate(cur);
+        RefreshRoot(client);
+        failed = true;
+        break;
+      }
+      hops_at_level = 0;
+      if (ref->path.size() < static_cast<size_t>(node->level) + 1) {
+        ref->path.resize(static_cast<size_t>(node->level) + 1);
+      }
+      ref->path[node->level] = cur;
+
+      const int idx = node->FindChild(key);
+      if (idx < 0) {
+        // Routing anomaly from a torn/stale snapshot: refetch this node remotely.
+        cache_.Invalidate(cur);
+        failed = true;
+        break;
+      }
+      const common::GlobalAddress child = node->entries[static_cast<size_t>(idx)].second;
+      if (node->level == 1) {
+        ref->addr = child;
+        ref->parent_addr = cur;
+        ref->from_cache = from_cache;
+        ref->expected_known = idx + 1 < static_cast<int>(node->entries.size());
+        ref->expected_next = ref->expected_known
+                                 ? node->entries[static_cast<size_t>(idx) + 1].second
+                                 : common::GlobalAddress::Null();
+        return true;
+      }
+      cur = child;
+    }
+    if (failed) {
+      continue;
+    }
+  }
+  return false;
+}
+
+common::GlobalAddress ChimeTree::TraverseToLevel(dmsim::Client& client, common::Key key,
+                                                 int level) {
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    common::GlobalAddress cur = CachedRoot(client);
+    bool failed = false;
+    int hops = 0;
+    while (true) {
+      std::shared_ptr<const cncache::CachedNode> node = cache_.Get(cur);
+      if (node == nullptr) {
+        client.CountCacheMiss();
+        node = FetchInternal(client, cur);
+        if (node == nullptr) {
+          RefreshRoot(client);
+          failed = true;
+          break;
+        }
+      }
+      if (key >= node->fence_hi) {
+        if (node->sibling.is_null() || ++hops > 64) {
+          cache_.Invalidate(cur);
+          RefreshRoot(client);
+          failed = true;
+          break;
+        }
+        cur = node->sibling;
+        continue;
+      }
+      if (node->level == level) {
+        return cur;
+      }
+      if (node->level < level) {
+        // The tree grew above us (root split): restart from the refreshed root.
+        RefreshRoot(client);
+        failed = true;
+        break;
+      }
+      const int idx = node->FindChild(key);
+      if (idx < 0) {
+        cache_.Invalidate(cur);
+        failed = true;
+        break;
+      }
+      cur = node->entries[static_cast<size_t>(idx)].second;
+    }
+    if (failed) {
+      continue;
+    }
+  }
+  assert(false && "TraverseToLevel failed to converge");
+  return common::GlobalAddress::Null();
+}
+
+// ---- Leaf window I/O -------------------------------------------------------------------------
+
+bool ChimeTree::ReadWindow(dmsim::Client& client, common::GlobalAddress leaf, int start,
+                           int len, int extra_idx, Window* window, LeafEntry* extra_entry,
+                           uint8_t* extra_ev) {
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+  assert(len >= 1 && len <= span);
+  window->start = start;
+  window->len = len;
+  window->segs.clear();
+  window->entries.assign(static_cast<size_t>(len), LeafEntry{});
+  window->evs.assign(static_cast<size_t>(len), 0);
+  window->has_meta = false;
+
+  // Split the (wrapping) index range into 1-2 contiguous pieces and derive byte ranges. A
+  // piece starting at a group boundary is extended left to its metadata replica; any piece
+  // crossing a group boundary contains a replica anyway.
+  struct Piece {
+    int first;
+    int count;
+  };
+  Piece pieces[2];
+  int num_pieces = 0;
+  if (start + len <= span) {
+    pieces[num_pieces++] = {start, len};
+  } else {
+    pieces[num_pieces++] = {start, span - start};
+    pieces[num_pieces++] = {0, start + len - span};
+  }
+
+  std::vector<dmsim::BatchEntry> batch;
+  for (int p = 0; p < num_pieces; ++p) {
+    const int first = pieces[p].first;
+    const int last = pieces[p].first + pieces[p].count - 1;
+    uint32_t lo = L.entry_cell(first).offset;
+    if (options_.metadata_replication && first % L.h() == 0) {
+      lo = L.replica_cell(first / L.h()).offset;
+    }
+    const uint32_t hi = L.entry_cell(last).end();
+    Segment seg;
+    seg.byte_lo = lo;
+    seg.byte_hi = hi;
+    seg.buf.resize(hi - lo);
+    window->segs.push_back(std::move(seg));
+  }
+  for (auto& seg : window->segs) {
+    batch.push_back({leaf + seg.byte_lo, seg.buf.data(), seg.byte_hi - seg.byte_lo});
+  }
+  // Optional extra cell (e.g. the argmax entry), fetched in the same doorbell batch.
+  std::vector<uint8_t> extra_buf;
+  const bool want_extra = extra_idx >= 0 && !window->Covers(extra_idx, span);
+  if (want_extra) {
+    const CellSpec& cell = L.entry_cell(extra_idx);
+    extra_buf.resize(cell.total_len);
+    batch.push_back({leaf + cell.offset, extra_buf.data(), cell.total_len});
+  }
+  if (batch.size() == 1) {
+    client.Read(batch[0].addr, batch[0].local, batch[0].len);
+  } else {
+    client.ReadBatch(batch);
+  }
+
+  if (!options_.metadata_replication) {
+    // Without replication the leaf metadata sits only in the node header (group 0); fetch it
+    // with a dedicated READ (the cost CHIME eliminates, paper §3.2.2 / Fig 4b).
+    const CellSpec& cell = L.replica_cell(0);
+    std::vector<uint8_t> meta_buf(cell.total_len);
+    client.Read(leaf + cell.offset, meta_buf.data(), cell.total_len);
+    std::vector<uint8_t> data(L.meta_data_len());
+    uint8_t ver = 0;
+    if (!CellCodec::Load(meta_buf.data() - cell.offset, cell, data.data(), &ver)) {
+      return false;
+    }
+    window->meta = L.DecodeMeta(data.data());
+    window->has_meta = true;
+  }
+
+  // Decode: NV must agree across every fetched cell; EVs must agree within each cell.
+  bool have_nv = false;
+  uint8_t nv = 0;
+  std::vector<uint8_t> data(std::max(L.entry_data_len(), L.meta_data_len()));
+  auto check_ver = [&](uint8_t ver) {
+    if (!have_nv) {
+      nv = VersionNv(ver);
+      have_nv = true;
+      return true;
+    }
+    return VersionNv(ver) == nv;
+  };
+
+  for (int p = 0, wi = 0; p < num_pieces; ++p) {
+    const Segment& seg = window->segs[static_cast<size_t>(p)];
+    const uint8_t* base = seg.buf.data() - seg.byte_lo;
+    for (int i = 0; i < pieces[p].count; ++i, ++wi) {
+      const int idx = pieces[p].first + i;
+      const CellSpec& cell = L.entry_cell(idx);
+      uint8_t ver = 0;
+      if (!CellCodec::Load(base, cell, data.data(), &ver) || !check_ver(ver)) {
+        return false;
+      }
+      window->entries[static_cast<size_t>(wi)] = L.DecodeEntry(data.data());
+      window->evs[static_cast<size_t>(wi)] = VersionEv(ver);
+    }
+    if (options_.metadata_replication && !window->has_meta) {
+      // Decode the first replica whose cell lies inside this segment.
+      for (int g = 0; g < L.groups(); ++g) {
+        const CellSpec& cell = L.replica_cell(g);
+        if (cell.offset >= seg.byte_lo && cell.end() <= seg.byte_hi) {
+          uint8_t ver = 0;
+          if (!CellCodec::Load(base, cell, data.data(), &ver) || !check_ver(ver)) {
+            return false;
+          }
+          window->meta = L.DecodeMeta(data.data());
+          window->has_meta = true;
+          break;
+        }
+      }
+    }
+  }
+  if (want_extra) {
+    const CellSpec& cell = L.entry_cell(extra_idx);
+    uint8_t ver = 0;
+    if (!CellCodec::Load(extra_buf.data() - cell.offset, cell, data.data(), &ver) ||
+        !check_ver(ver)) {
+      return false;
+    }
+    if (extra_entry != nullptr) {
+      *extra_entry = L.DecodeEntry(data.data());
+    }
+    if (extra_ev != nullptr) {
+      *extra_ev = VersionEv(ver);
+    }
+  } else if (extra_idx >= 0 && extra_entry != nullptr) {
+    *extra_entry = window->At(extra_idx, span);
+    if (extra_ev != nullptr) {
+      *extra_ev = window->EvAt(extra_idx, span);
+    }
+  }
+  window->node_nv = nv;
+  assert(window->has_meta && "every window must cover one metadata replica");
+  return true;
+}
+
+bool ChimeTree::HopBitmapConsistent(const Window& window, int home) const {
+  const int span = leaf_layout_.span();
+  const int h = leaf_layout_.h();
+  if (!window.Covers(home, span)) {
+    return true;  // home entry not fetched: nothing to cross-check
+  }
+  uint16_t status = 0;
+  for (int j = 0; j < h; ++j) {
+    const int idx = (home + j) % span;
+    if (!window.Covers(idx, span)) {
+      return true;  // partial neighborhood (should not happen for search windows)
+    }
+    const LeafEntry& e = window.At(idx, span);
+    if (e.used && HomeOf(e.key) == home) {
+      status = static_cast<uint16_t>(status | (1u << j));
+    }
+  }
+  return status == window.At(home, span).hop_bitmap;
+}
+
+void ChimeTree::WriteBackAndUnlock(dmsim::Client& client, common::GlobalAddress leaf,
+                                   const Window& window, const std::vector<int>& dirty,
+                                   uint64_t lock_word) {
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+  // Per-cell payload buffers must outlive the batch.
+  std::vector<std::vector<uint8_t>> bufs;
+  bufs.reserve(dirty.size() + 1);
+  std::vector<dmsim::BatchEntry> batch;
+  for (int idx : dirty) {
+    const CellSpec& cell = L.entry_cell(idx);
+    std::vector<uint8_t> cell_buf(cell.total_len);
+    std::vector<uint8_t> data(L.entry_data_len());
+    L.EncodeEntry(window.At(idx, span), data.data());
+    const uint8_t ver = PackVersion(window.node_nv, window.EvAt(idx, span));
+    CellCodec::Store(cell_buf.data() - cell.offset, cell, data.data(), ver);
+    bufs.push_back(std::move(cell_buf));
+    batch.push_back({leaf + cell.offset, bufs.back().data(), cell.total_len});
+  }
+  bufs.push_back(std::vector<uint8_t>(8));
+  std::memcpy(bufs.back().data(), &lock_word, 8);
+  batch.push_back({leaf + L.lock_offset(), bufs.back().data(), 8});
+  client.WriteBatch(batch);
+}
+
+uint64_t ChimeTree::AcquireLeafLock(dmsim::Client& client, common::GlobalAddress leaf) {
+  const common::GlobalAddress lock_addr = leaf + leaf_layout_.lock_offset();
+  int spin = 0;
+  while (true) {
+    const uint64_t old = client.MaskedCas(lock_addr, /*compare=*/0,
+                                          /*swap=*/LeafLock::kLockBit,
+                                          /*compare_mask=*/LeafLock::kLockBit,
+                                          /*swap_mask=*/LeafLock::kLockBit);
+    if (!LeafLock::Locked(old)) {
+      if (!options_.vacancy_piggyback) {
+        // Without piggybacking the lock verb carries no payload: the vacancy bitmap (and
+        // argmax) must be fetched with a dedicated READ (paper §3.2.2 / Fig 4a).
+        uint64_t word = 0;
+        client.Read(lock_addr, &word, 8);
+        return (word & ~LeafLock::kLockBit) | LeafLock::kLockBit;
+      }
+      return old;
+    }
+    client.CountRetry();
+    CpuRelax(spin++);
+  }
+}
+
+void ChimeTree::ReleaseLeafLock(dmsim::Client& client, common::GlobalAddress leaf,
+                                uint64_t word) {
+  const uint64_t unlocked = word & ~LeafLock::kLockBit;
+  client.Write(leaf + leaf_layout_.lock_offset(), &unlocked, 8);
+}
+
+bool ChimeTree::ReadLeafMinMax(dmsim::Client& client, common::GlobalAddress leaf,
+                               common::Key* min_key, common::Key* max_key,
+                               common::GlobalAddress* sibling) {
+  Window full;
+  for (int retry = 0; retry < kMaxReadRetries; ++retry) {
+    if (!ReadWindow(client, leaf, 0, leaf_layout_.span(), -1, &full, nullptr, nullptr)) {
+      client.CountRetry();
+      CpuRelax(retry);
+      continue;
+    }
+    if (!full.meta.valid) {
+      return false;
+    }
+    *min_key = common::kMaxKey;
+    *max_key = 0;
+    for (const LeafEntry& e : full.entries) {
+      if (e.used) {
+        *min_key = std::min(*min_key, e.key);
+        *max_key = std::max(*max_key, e.key);
+      }
+    }
+    if (sibling != nullptr) {
+      *sibling = full.meta.sibling;
+    }
+    return true;
+  }
+  return false;
+}
+
+common::Key ChimeTree::ReadRangeLo(dmsim::Client& client, common::GlobalAddress leaf) {
+  const CellSpec& cell = leaf_layout_.range_lo_cell();
+  std::vector<uint8_t> buf(cell.total_len);
+  client.Read(leaf + cell.offset, buf.data(), cell.total_len);
+  std::vector<uint8_t> data(cell.data_len);
+  uint8_t ver = 0;
+  // The range floor is immutable for a node's lifetime, so no retry loop is needed.
+  CellCodec::Load(buf.data() - cell.offset, cell, data.data(), &ver);
+  return leaf_layout_.DecodeRangeLo(data.data());
+}
+
+uint64_t ChimeTree::ComputeVacancy(const Window& window, uint64_t old_vacancy) const {
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+  uint64_t vac = old_vacancy;
+  for (int g = 0; g < L.vacancy_groups(); ++g) {
+    const int first = L.VacancyGroupStart(g);
+    const int last = L.VacancyGroupEnd(g);
+    bool covered = true;
+    bool any_free = false;
+    for (int idx = first; idx <= last; ++idx) {
+      if (!window.Covers(idx, span)) {
+        covered = false;
+        break;
+      }
+      if (!window.At(idx, span).used) {
+        any_free = true;
+      }
+    }
+    if (!covered) {
+      continue;  // keep the (conservative) old bit
+    }
+    vac = any_free ? common::SetBit(vac, g) : common::ClearBit(vac, g);
+  }
+  return vac;
+}
+
+}  // namespace chime

@@ -1,0 +1,268 @@
+// ChimeTree: the CHIME hybrid range index (B+ tree with hopscotch-hashing leaf nodes) on
+// disaggregated memory. This is the library's primary public API.
+//
+// One ChimeTree instance is shared by all worker threads of a compute node; every operation
+// takes the calling worker's dmsim::Client. Synchronization follows the paper exactly:
+// lock-based writes (per-node 8-byte lock, acquired with a masked-CAS that piggybacks the
+// vacancy bitmap) and lock-free reads validated by the three-level optimistic scheme
+// (two-level cache-line versions + reused hopscotch bitmaps).
+#ifndef SRC_CORE_TREE_H_
+#define SRC_CORE_TREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cache/hotspot_buffer.h"
+#include "src/cache/index_cache.h"
+#include "src/common/types.h"
+#include "src/core/layout.h"
+#include "src/core/options.h"
+#include "src/dmsim/client.h"
+#include "src/dmsim/pool.h"
+
+namespace chime {
+
+class ChimeTree {
+ public:
+  // Creates the remote tree structure (root pointer, empty root, one empty leaf) using a
+  // bootstrap client. Keys must be non-zero (0 is the empty-slot sentinel).
+  ChimeTree(dmsim::MemoryPool* pool, const ChimeOptions& options);
+
+  ChimeTree(const ChimeTree&) = delete;
+  ChimeTree& operator=(const ChimeTree&) = delete;
+
+  // Point lookup. Returns false when absent.
+  bool Search(dmsim::Client& client, common::Key key, common::Value* value);
+  // Upsert.
+  void Insert(dmsim::Client& client, common::Key key, common::Value value);
+  // In-place update of an existing key. Returns false when absent.
+  bool Update(dmsim::Client& client, common::Key key, common::Value value);
+  // Removes a key. Returns false when absent.
+  bool Delete(dmsim::Client& client, common::Key key);
+  // Collects up to `count` items with key >= start, in key order. Returns how many.
+  size_t Scan(dmsim::Client& client, common::Key start, size_t count,
+              std::vector<std::pair<common::Key, common::Value>>* out);
+
+  // ---- Variable-length keys and values (paper §4.5) ---------------------------------------
+  //
+  // Requires options.indirect_values. The first 8 bytes of the key act as an
+  // order-preserving fingerprint stored in leaf entries; the full key and value live in an
+  // out-of-node block. On fingerprint collisions all matching blocks are fetched and
+  // compared, exactly as the paper describes. Keys must be non-empty and fit, together with
+  // the value and a 4-byte length header, into options.indirect_block_bytes. Ordering (for
+  // ScanVar) is by fingerprint first, then full key — i.e. true lexicographic order whenever
+  // 8-byte prefixes differ.
+  //
+  // Capacity limit: colliding fingerprints share one hopscotch neighborhood, so at most
+  // `neighborhood` (default 8) keys may share an 8-byte prefix. The paper relies on the same
+  // assumption ("fingerprint collisions are rare", §4.5); exceeding it trips a diagnostic.
+
+  bool SearchVar(dmsim::Client& client, std::string_view key, std::string* value);
+  void InsertVar(dmsim::Client& client, std::string_view key, std::string_view value);
+  bool UpdateVar(dmsim::Client& client, std::string_view key, std::string_view value);
+  bool DeleteVar(dmsim::Client& client, std::string_view key);
+  size_t ScanVar(dmsim::Client& client, std::string_view start, size_t count,
+                 std::vector<std::pair<std::string, std::string>>* out);
+
+  // The order-preserving 8-byte prefix fingerprint (big-endian, zero-padded, never 0).
+  static common::Key VarFingerprint(std::string_view key);
+
+  const ChimeOptions& options() const { return options_; }
+  const LeafLayout& leaf_layout() const { return leaf_layout_; }
+  const InternalLayout& internal_layout() const { return internal_layout_; }
+  cncache::IndexCache& cache() { return cache_; }
+  cncache::HotspotBuffer& hotspot() { return hotspot_; }
+
+  // Computing-side cache consumption: internal-node cache + hotspot buffer (paper Fig 14).
+  size_t CacheConsumptionBytes() const { return cache_.bytes_used() + hotspot_.bytes_used(); }
+  // Height = number of internal levels (paper notation h); leaves are level 0.
+  int height() const { return height_.load(std::memory_order_relaxed); }
+
+  // Test/diagnostic hook: walks the whole leaf chain and returns all items in key order.
+  std::vector<std::pair<common::Key, common::Value>> DumpAll(dmsim::Client& client);
+
+  // Test/diagnostic hook: validates the remote structure on a quiesced tree — hopscotch
+  // invariants in every leaf (keys within H of home, bitmaps exact), vacancy bitmaps and
+  // argmax consistent with occupancy, leaf-chain key ordering, and range floors. Returns
+  // false and sets *why on the first violation.
+  bool ValidateStructure(dmsim::Client& client, std::string* why);
+
+ private:
+  // ---- Traversal --------------------------------------------------------------------------
+
+  struct LeafRef {
+    common::GlobalAddress addr;
+    common::GlobalAddress expected_next;  // next child pointer in the parent (paper §4.2.3)
+    bool expected_known = false;
+    bool from_cache = false;              // parent came from the local cache
+    common::GlobalAddress parent_addr;
+    // Internal nodes visited per level during this descent (level -> address), for splits.
+    std::vector<common::GlobalAddress> path;
+  };
+
+  common::GlobalAddress ReadRootPtr(dmsim::Client& client);
+  common::GlobalAddress CachedRoot(dmsim::Client& client);
+  void RefreshRoot(dmsim::Client& client);
+
+  // Reads + decodes an internal node (retrying torn reads) and caches it. Returns nullptr if
+  // the node is marked deleted.
+  std::shared_ptr<const cncache::CachedNode> FetchInternal(dmsim::Client& client,
+                                                           common::GlobalAddress addr);
+
+  // Descends to the leaf that should contain `key`. Returns false on persistent failure.
+  bool LocateLeaf(dmsim::Client& client, common::Key key, LeafRef* ref);
+  // Descends to the internal node at `level` covering `key` (for up-propagation).
+  common::GlobalAddress TraverseToLevel(dmsim::Client& client, common::Key key, int level);
+
+  // ---- Leaf node I/O ----------------------------------------------------------------------
+
+  struct Segment {
+    uint32_t byte_lo = 0;
+    uint32_t byte_hi = 0;  // exclusive
+    std::vector<uint8_t> buf;
+  };
+
+  struct Window {
+    int start = 0;  // first entry index (mod span)
+    int len = 0;    // number of entries
+    std::vector<LeafEntry> entries;  // window-relative: entries[i] is slot (start+i)%span
+    std::vector<uint8_t> evs;        // current EV per window entry
+    LeafMeta meta;
+    bool has_meta = false;
+    uint8_t node_nv = 0;
+    std::vector<Segment> segs;
+
+    bool Covers(int idx, int span) const {
+      return ((idx - start + span) % span) < len;
+    }
+    LeafEntry& At(int idx, int span) { return entries[(idx - start + span) % span]; }
+    const LeafEntry& At(int idx, int span) const {
+      return entries[(idx - start + span) % span];
+    }
+    uint8_t& EvAt(int idx, int span) { return evs[(idx - start + span) % span]; }
+    uint8_t EvAt(int idx, int span) const { return evs[(idx - start + span) % span]; }
+  };
+
+  // One fabric round trip: fetches entries [start, start+len) (wrapping; doorbell-batched
+  // when wrapped), including a metadata replica, and optionally the cell of `extra_idx`.
+  // Returns false when version/bitmap validation cannot pass (caller retries).
+  bool ReadWindow(dmsim::Client& client, common::GlobalAddress leaf, int start, int len,
+                  int extra_idx, Window* window, LeafEntry* extra_entry, uint8_t* extra_ev);
+
+  // Validates the reused hopscotch bitmap for `home` against the fetched keys (paper §4.1.2).
+  bool HopBitmapConsistent(const Window& window, int home) const;
+
+  // Reads a whole node and reports its min/max keys (for half-split decisions). Returns false
+  // when the read never validates or the node is deleted.
+  bool ReadLeafMinMax(dmsim::Client& client, common::GlobalAddress leaf, common::Key* min_key,
+                      common::Key* max_key, common::GlobalAddress* sibling);
+
+  // Reads a node's immutable range floor (one small READ; rare half-split miss path only).
+  common::Key ReadRangeLo(dmsim::Client& client, common::GlobalAddress leaf);
+
+  // Writes dirty entry cells (EV already bumped in `window`) plus the lock word (released,
+  // with updated vacancy/argmax) in one doorbell batch.
+  void WriteBackAndUnlock(dmsim::Client& client, common::GlobalAddress leaf,
+                          const Window& window, const std::vector<int>& dirty,
+                          uint64_t lock_word);
+
+  // Lock helpers. Acquire returns the pre-acquisition word (vacancy bitmap + argmax ride on
+  // the masked-CAS per §4.2.1; with the piggyback disabled an extra READ fetches them).
+  uint64_t AcquireLeafLock(dmsim::Client& client, common::GlobalAddress leaf);
+  void ReleaseLeafLock(dmsim::Client& client, common::GlobalAddress leaf, uint64_t word);
+
+  // ---- Leaf operations --------------------------------------------------------------------
+
+  enum class LeafResult { kOk, kNotFound, kStaleCache, kRetry, kFollowSibling, kSplitNeeded };
+  enum class MutateResult { kDone, kNotFound, kFollowSibling, kStaleCache, kRetry };
+
+  // Variable-length context threaded through the leaf operations: entries are matched by
+  // fingerprint *and* full key (fetched from the linked block), and values are pre-encoded
+  // block pointers.
+  struct VarContext {
+    std::string_view full_key;
+    common::Value encoded_value = 0;    // block pointer for insert/update paths
+    std::string* value_out = nullptr;   // filled by search on a match
+  };
+
+  LeafResult SearchLeaf(dmsim::Client& client, const LeafRef& ref, common::Key key,
+                        common::Value* value, common::GlobalAddress* sibling_out,
+                        const VarContext* var = nullptr);
+
+  // The locked insert attempt; returns kSplitNeeded when the node must be split (the lock is
+  // then still held and `full` holds the whole-node window).
+  LeafResult TryInsertLocked(dmsim::Client& client, const LeafRef& ref, common::Key key,
+                             common::Value value, uint64_t lock_word, Window* full,
+                             common::GlobalAddress* sibling_out,
+                             const VarContext* var = nullptr);
+
+  void SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref, Window* full_window,
+                          uint64_t lock_word);
+
+  // One locked update/delete attempt; releases the lock itself on every outcome.
+  MutateResult TryMutateLocked(dmsim::Client& client, const LeafRef& ref, common::Key key,
+                               uint64_t lock_word, bool is_delete, common::Value value,
+                               common::GlobalAddress* sibling_out,
+                               const VarContext* var = nullptr);
+
+  // Variable-length block codec (full key + value in one out-of-node block).
+  common::GlobalAddress WriteVarBlock(dmsim::Client& client, std::string_view key,
+                                      std::string_view value);
+  bool ReadVarBlock(dmsim::Client& client, common::GlobalAddress block, std::string* key,
+                    std::string* value);
+  // Generic insert body shared by Insert and InsertVar.
+  void InsertImpl(dmsim::Client& client, common::Key key, common::Value value,
+                  const VarContext* var);
+  // Scan body; resolve_indirect=false returns raw (fingerprint, block pointer) pairs.
+  size_t ScanInternal(dmsim::Client& client, common::Key start, size_t count,
+                      std::vector<std::pair<common::Key, common::Value>>* out,
+                      bool resolve_indirect);
+
+  // Builds a leaf image for `items` via local hopscotch placement. False when placement fails
+  // (caller re-picks the split point).
+  bool BuildLeafImage(const std::vector<std::pair<common::Key, common::Value>>& items,
+                      const LeafMeta& meta, uint8_t nv, std::vector<uint8_t>* image) const;
+
+  uint64_t ComputeVacancy(const Window& window, uint64_t old_vacancy) const;
+  int HomeOf(common::Key key) const {
+    return static_cast<int>(common::Mix64(key) % static_cast<uint64_t>(options_.span));
+  }
+
+  // ---- Up-propagation ---------------------------------------------------------------------
+
+  void InsertIntoParent(dmsim::Client& client, const std::vector<common::GlobalAddress>& path,
+                        int level, common::Key pivot, common::GlobalAddress new_child,
+                        common::GlobalAddress left_child);
+
+  void LockInternal(dmsim::Client& client, common::GlobalAddress node);
+  void UnlockInternal(dmsim::Client& client, common::GlobalAddress node);
+
+  // ---- Indirect (variable-length) values --------------------------------------------------
+
+  common::GlobalAddress WriteIndirectBlock(dmsim::Client& client, common::Key key,
+                                           common::Value value);
+  bool ReadIndirectBlock(dmsim::Client& client, common::GlobalAddress block, common::Key key,
+                         common::Value* value);
+
+  // -------------------------------------------------------------------------------------------
+
+  dmsim::MemoryPool* pool_;
+  ChimeOptions options_;
+  LeafLayout leaf_layout_;
+  InternalLayout internal_layout_;
+  cncache::IndexCache cache_;
+  cncache::HotspotBuffer hotspot_;
+
+  common::GlobalAddress root_ptr_addr_;
+  std::atomic<uint64_t> cached_root_{0};
+  std::atomic<int> height_{1};
+};
+
+}  // namespace chime
+
+#endif  // SRC_CORE_TREE_H_

@@ -1,0 +1,236 @@
+// ChimeTree update and delete: lock the leaf, fetch the target neighborhood, modify one entry
+// in place, and release the lock with the combined write-back (paper §4.4 "Update"/"Delete").
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <string>
+
+#include "src/common/bitops.h"
+#include "src/common/hash.h"
+#include "src/core/tree.h"
+
+namespace chime {
+
+namespace {
+constexpr int kMaxOpRestarts = 256;
+}  // namespace
+
+bool ChimeTree::Update(dmsim::Client& client, common::Key key, common::Value value) {
+  assert(key != 0);
+  client.BeginOp();
+  bool found = false;
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, key, &ref)) {
+      break;
+    }
+    bool done = false;
+    bool descend_again = false;
+    for (int hops = 0; hops < 64 && !done && !descend_again; ++hops) {
+      const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
+      common::GlobalAddress sibling;
+      const MutateResult r =
+          TryMutateLocked(client, ref, key, lock_word, /*is_delete=*/false, value, &sibling);
+      switch (r) {
+        case MutateResult::kDone:
+          found = true;
+          done = true;
+          break;
+        case MutateResult::kNotFound:
+          done = true;
+          break;
+        case MutateResult::kFollowSibling:
+          ref.addr = sibling;
+          ref.from_cache = false;
+          break;
+        case MutateResult::kStaleCache:
+          cache_.Invalidate(ref.parent_addr);
+          descend_again = true;
+          break;
+        case MutateResult::kRetry:
+        default:
+          descend_again = true;
+          break;
+      }
+    }
+    if (done) {
+      break;
+    }
+  }
+  client.EndOp(dmsim::OpType::kUpdate);
+  return found;
+}
+
+bool ChimeTree::Delete(dmsim::Client& client, common::Key key) {
+  assert(key != 0);
+  client.BeginOp();
+  bool found = false;
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, key, &ref)) {
+      break;
+    }
+    bool done = false;
+    bool descend_again = false;
+    for (int hops = 0; hops < 64 && !done && !descend_again; ++hops) {
+      const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
+      common::GlobalAddress sibling;
+      const MutateResult r =
+          TryMutateLocked(client, ref, key, lock_word, /*is_delete=*/true, 0, &sibling);
+      switch (r) {
+        case MutateResult::kDone:
+          found = true;
+          done = true;
+          break;
+        case MutateResult::kNotFound:
+          done = true;
+          break;
+        case MutateResult::kFollowSibling:
+          ref.addr = sibling;
+          ref.from_cache = false;
+          break;
+        case MutateResult::kStaleCache:
+          cache_.Invalidate(ref.parent_addr);
+          descend_again = true;
+          break;
+        case MutateResult::kRetry:
+        default:
+          descend_again = true;
+          break;
+      }
+    }
+    if (done) {
+      break;
+    }
+  }
+  client.EndOp(dmsim::OpType::kDelete);
+  return found;
+}
+
+ChimeTree::MutateResult ChimeTree::TryMutateLocked(dmsim::Client& client, const LeafRef& ref,
+                                                   common::Key key, uint64_t lock_word,
+                                                   bool is_delete, common::Value value,
+                                                   common::GlobalAddress* sibling_out,
+                                                   const VarContext* var) {
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+  const int h = L.h();
+  const int home = HomeOf(key);
+  const uint32_t argmax = LeafLock::Argmax(lock_word);
+  const uint64_t vacancy = LeafLock::Vacancy(lock_word);
+
+  // The neighborhood read; the argmax entry is batched in (same round trip) so a potential
+  // half-split decision needs no extra access.
+  Window window;
+  LeafEntry argmax_entry;
+  const int extra = argmax != LeafLock::kArgmaxUnknown ? static_cast<int>(argmax) : -1;
+  if (!ReadWindow(client, ref.addr, home, h, extra, &window, &argmax_entry, nullptr)) {
+    ReleaseLeafLock(client, ref.addr, lock_word);
+    return MutateResult::kRetry;
+  }
+  if (!window.meta.valid) {
+    ReleaseLeafLock(client, ref.addr, lock_word);
+    return MutateResult::kStaleCache;
+  }
+
+  // Find the target entry within the neighborhood. In variable-length mode a fingerprint
+  // match must be confirmed against the linked block's full key (paper §4.5).
+  int found_idx = -1;
+  for (int j = 0; j < h; ++j) {
+    const int idx = (home + j) % span;
+    const LeafEntry& e = window.At(idx, span);
+    if (e.used && e.key == key) {
+      if (var != nullptr) {
+        std::string bk;
+        std::string bv;
+        if (!ReadVarBlock(client, common::GlobalAddress::Unpack(e.value), &bk, &bv) ||
+            bk != var->full_key) {
+          continue;
+        }
+      }
+      found_idx = idx;
+      break;
+    }
+  }
+
+  if (found_idx >= 0) {
+    LeafEntry& e = window.At(found_idx, span);
+    std::vector<int> dirty;
+    uint64_t new_vacancy = vacancy;
+    uint32_t new_argmax = argmax;
+    if (is_delete) {
+      e.used = false;
+      e.key = 0;
+      e.value = 0;
+      window.EvAt(found_idx, span) = (window.EvAt(found_idx, span) + 1) & 0xF;
+      dirty.push_back(found_idx);
+      LeafEntry& home_e = window.At(home, span);
+      home_e.hop_bitmap = static_cast<uint16_t>(common::ClearBit(
+          home_e.hop_bitmap, (found_idx - home + span) % span));
+      if (home != found_idx) {
+        window.EvAt(home, span) = (window.EvAt(home, span) + 1) & 0xF;
+        dirty.push_back(home);
+      }
+      new_vacancy = common::SetBit(new_vacancy, L.VacancyGroupOf(found_idx));
+      if (new_argmax == static_cast<uint32_t>(found_idx)) {
+        new_argmax = LeafLock::kArgmaxUnknown;  // repaired lazily (paper §4.2.3)
+      }
+    } else {
+      e.value = var != nullptr ? var->encoded_value
+                : options_.indirect_values
+                    ? WriteIndirectBlock(client, key, value).Pack()
+                    : value;
+      window.EvAt(found_idx, span) = (window.EvAt(found_idx, span) + 1) & 0xF;
+      dirty.push_back(found_idx);
+      if (options_.speculative_read) {
+        hotspot_.OnAccess(ref.addr, static_cast<uint16_t>(found_idx),
+                          common::Fingerprint16(key));
+      }
+    }
+    WriteBackAndUnlock(client, ref.addr, window, dirty,
+                       LeafLock::Pack(false, new_argmax, new_vacancy));
+    return MutateResult::kDone;
+  }
+
+  // Absent here. Decide whether the key could have moved right (half-split validation).
+  if (!options_.sibling_validation) {
+    if (key < window.meta.fence_lo) {
+      ReleaseLeafLock(client, ref.addr, lock_word);
+      return MutateResult::kStaleCache;
+    }
+    if (key >= window.meta.fence_hi) {
+      ReleaseLeafLock(client, ref.addr, lock_word);
+      *sibling_out = window.meta.sibling;
+      return MutateResult::kFollowSibling;
+    }
+    ReleaseLeafLock(client, ref.addr, lock_word);
+    return MutateResult::kNotFound;
+  }
+  if (window.meta.sibling.is_null() ||
+      (ref.expected_known && window.meta.sibling == ref.expected_next)) {
+    ReleaseLeafLock(client, ref.addr, lock_word);
+    return MutateResult::kNotFound;
+  }
+  // Fast path: key <= some present key proves the key's range did not move right.
+  if (argmax != LeafLock::kArgmaxUnknown) {
+    const LeafEntry am = window.Covers(static_cast<int>(argmax), span)
+                             ? window.At(static_cast<int>(argmax), span)
+                             : argmax_entry;
+    if (am.used && key <= am.key) {
+      ReleaseLeafLock(client, ref.addr, lock_word);
+      return MutateResult::kNotFound;
+    }
+  }
+  if (ref.from_cache) {
+    cache_.Invalidate(ref.parent_addr);
+  }
+  const common::Key sibling_lo = ReadRangeLo(client, window.meta.sibling);
+  ReleaseLeafLock(client, ref.addr, lock_word);
+  if (key >= sibling_lo) {
+    *sibling_out = window.meta.sibling;
+    return MutateResult::kFollowSibling;
+  }
+  return MutateResult::kNotFound;
+}
+
+}  // namespace chime

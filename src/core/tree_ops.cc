@@ -1,0 +1,881 @@
+// ChimeTree operations: search, insert (with leaf splits and up-propagation), update, delete,
+// and scan. See paper §4.4 for the per-operation round-trip budget this code implements.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "src/common/bitops.h"
+#include "src/common/hash.h"
+#include "src/core/tree.h"
+
+namespace chime {
+
+namespace {
+
+constexpr int kMaxOpRestarts = 256;
+constexpr int kMaxReadRetries = 100000;
+
+void CpuRelax(int spin) {
+  if (spin % 64 == 63) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+// ---- Search ----------------------------------------------------------------------------------
+
+ChimeTree::LeafResult ChimeTree::SearchLeaf(dmsim::Client& client, const LeafRef& ref,
+                                            common::Key key, common::Value* value,
+                                            common::GlobalAddress* sibling_out,
+                                            const VarContext* var) {
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+  const int h = L.h();
+  const int home = HomeOf(key);
+  const uint16_t fp = common::Fingerprint16(key);
+
+  // Speculative read (paper §4.3): when the hotspot buffer knows the key's exact slot, fetch
+  // just that entry instead of the neighborhood.
+  if (options_.speculative_read) {
+    const auto spec = hotspot_.Lookup(ref.addr, static_cast<uint16_t>(home), h,
+                                      static_cast<uint16_t>(span), fp);
+    if (spec.has_value()) {
+      const CellSpec& cell = L.entry_cell(*spec);
+      std::vector<uint8_t> buf(cell.total_len);
+      client.Read(ref.addr + cell.offset, buf.data(), cell.total_len);
+      std::vector<uint8_t> data(L.entry_data_len());
+      uint8_t ver = 0;
+      if (CellCodec::Load(buf.data() - cell.offset, cell, data.data(), &ver)) {
+        const LeafEntry e = L.DecodeEntry(data.data());
+        if (e.used && e.key == key) {
+          if (var != nullptr) {
+            std::string bk;
+            std::string bv;
+            if (ReadVarBlock(client, common::GlobalAddress::Unpack(e.value), &bk, &bv) &&
+                bk == var->full_key) {
+              *var->value_out = std::move(bv);
+              hotspot_.OnAccess(ref.addr, *spec, fp);
+              return LeafResult::kOk;
+            }
+          } else if (options_.indirect_values) {
+            common::GlobalAddress block = common::GlobalAddress::Unpack(e.value);
+            if (ReadIndirectBlock(client, block, key, value)) {
+              hotspot_.OnAccess(ref.addr, *spec, fp);
+              return LeafResult::kOk;
+            }
+          } else {
+            *value = e.value;
+            hotspot_.OnAccess(ref.addr, *spec, fp);
+            return LeafResult::kOk;
+          }
+        }
+      }
+      // Incorrect speculation: fall through to the normal neighborhood read (paper: an
+      // additional READ is required in this infrequent case).
+      hotspot_.Invalidate(ref.addr, *spec);
+    }
+  }
+
+  Window window;
+  for (int retry = 0; retry < kMaxReadRetries; ++retry) {
+    if (!ReadWindow(client, ref.addr, home, h, /*extra_idx=*/-1, &window, nullptr, nullptr)) {
+      client.CountRetry();
+      CpuRelax(retry);
+      continue;
+    }
+    if (!window.meta.valid) {
+      return LeafResult::kStaleCache;  // node was deleted/merged
+    }
+    if (!HopBitmapConsistent(window, home)) {
+      client.CountRetry();  // caught a concurrent hop mid-flight (paper §4.1.2)
+      CpuRelax(retry);
+      continue;
+    }
+    // Cache validation (paper §4.2.3 / Fig 9): a leaf reached through a *cached* pointer whose
+    // sibling does not match the parent's next child reveals an outdated cached parent.
+    if (options_.sibling_validation) {
+      if (ref.from_cache && ref.expected_known && window.meta.sibling != ref.expected_next) {
+        return LeafResult::kStaleCache;
+      }
+    } else {
+      // Fence-key mode: validate directly against the replicated fences.
+      if (key < window.meta.fence_lo) {
+        return LeafResult::kStaleCache;
+      }
+      if (key >= window.meta.fence_hi) {
+        *sibling_out = window.meta.sibling;
+        return ref.from_cache ? LeafResult::kStaleCache : LeafResult::kFollowSibling;
+      }
+    }
+
+    // Probe the neighborhood, guided by the home entry's hopscotch bitmap.
+    uint16_t bitmap = window.At(home, span).hop_bitmap;
+    while (bitmap != 0) {
+      const int j = common::LowestSetBit(bitmap);
+      bitmap = static_cast<uint16_t>(bitmap & (bitmap - 1));
+      const int idx = (home + j) % span;
+      const LeafEntry& e = window.At(idx, span);
+      if (e.used && e.key == key) {
+        if (var != nullptr) {
+          // Fingerprint collision handling (paper §4.5): check the linked block's full key;
+          // keep probing on a mismatch.
+          std::string bk;
+          std::string bv;
+          if (!ReadVarBlock(client, common::GlobalAddress::Unpack(e.value), &bk, &bv) ||
+              bk != var->full_key) {
+            continue;
+          }
+          *var->value_out = std::move(bv);
+        } else if (options_.indirect_values) {
+          common::GlobalAddress block = common::GlobalAddress::Unpack(e.value);
+          if (!ReadIndirectBlock(client, block, key, value)) {
+            break;  // block/entry raced; re-read the window
+          }
+        } else {
+          *value = e.value;
+        }
+        if (options_.speculative_read) {
+          hotspot_.OnAccess(ref.addr, static_cast<uint16_t>(idx), fp);
+        }
+        return LeafResult::kOk;
+      }
+    }
+
+    // Key absent from this node. Half-split validation: the key may have moved to a sibling.
+    if (window.meta.sibling.is_null()) {
+      return LeafResult::kNotFound;
+    }
+    if (options_.sibling_validation) {
+      if (ref.expected_known && window.meta.sibling == ref.expected_next) {
+        return LeafResult::kNotFound;
+      }
+      // Mismatched (or unknown) expectation: the sibling's immutable range floor decides
+      // precisely whether the key's range moved right (one small READ on this rare path).
+      if (ref.from_cache) {
+        cache_.Invalidate(ref.parent_addr);  // a mismatch via a cached pointer = stale cache
+      }
+      const common::Key sibling_lo = ReadRangeLo(client, window.meta.sibling);
+      if (key >= sibling_lo) {
+        *sibling_out = window.meta.sibling;
+        return LeafResult::kFollowSibling;
+      }
+      return LeafResult::kNotFound;
+    }
+    return LeafResult::kNotFound;
+  }
+  return LeafResult::kRetry;
+}
+
+bool ChimeTree::Search(dmsim::Client& client, common::Key key, common::Value* value) {
+  assert(key != 0 && "key 0 is the empty-slot sentinel");
+  client.BeginOp();
+  bool found = false;
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, key, &ref)) {
+      break;
+    }
+    bool done = false;
+    for (int hops = 0; hops < 64; ++hops) {
+      common::GlobalAddress sibling;
+      const LeafResult r = SearchLeaf(client, ref, key, value, &sibling);
+      if (r == LeafResult::kOk) {
+        found = true;
+        done = true;
+        break;
+      }
+      if (r == LeafResult::kNotFound) {
+        done = true;
+        break;
+      }
+      if (r == LeafResult::kFollowSibling) {
+        ref.addr = sibling;
+        ref.from_cache = false;
+        // The original expectation still terminates the walk (paper §4.2.3).
+        continue;
+      }
+      if (r == LeafResult::kStaleCache) {
+        cache_.Invalidate(ref.parent_addr);
+        break;  // restart the descent
+      }
+      break;  // kRetry: restart the descent
+    }
+    if (done) {
+      break;
+    }
+  }
+  client.EndOp(dmsim::OpType::kSearch);
+  return found;
+}
+
+// ---- Insert ----------------------------------------------------------------------------------
+
+ChimeTree::LeafResult ChimeTree::TryInsertLocked(dmsim::Client& client, const LeafRef& ref,
+                                                 common::Key key, common::Value value,
+                                                 uint64_t lock_word, Window* full,
+                                                 common::GlobalAddress* sibling_out,
+                                                 const VarContext* var) {
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+  const int h = L.h();
+  const int home = HomeOf(key);
+  const uint16_t fp = common::Fingerprint16(key);
+  const uint32_t argmax = LeafLock::Argmax(lock_word);
+  const uint64_t vacancy = LeafLock::Vacancy(lock_word);
+
+  // Window: from the vacancy group preceding the neighborhood (hops can update hopscotch
+  // bitmaps up to H-1 entries before home) to the first vacant group at/after home, and at
+  // least the full neighborhood. Rounded to vacancy-group boundaries so the bitmap can be
+  // recomputed exactly for every covered group.
+  const int start_raw = (home - (h - 1) + span) % span;
+  int start = L.VacancyGroupStart(L.VacancyGroupOf(start_raw));
+  int vac_group = -1;
+  for (int g = 0; g < L.vacancy_groups(); ++g) {
+    const int cand = (L.VacancyGroupOf(home) + g) % L.vacancy_groups();
+    if (common::TestBit(vacancy, cand)) {
+      vac_group = cand;
+      break;
+    }
+  }
+  Window window;
+  LeafEntry argmax_entry;  // fetched in the same round trip when outside the window
+  bool window_is_full = false;
+  if (h >= span) {
+    // The neighborhood is the whole node; the partial-window machinery degenerates.
+    vac_group = -1;
+  }
+  if (vac_group < 0) {
+    // Vacancy bitmap says the node is full; the neighborhood is still needed to detect an
+    // in-place update, and the whole node is needed to split, so read it all.
+    if (!ReadWindow(client, ref.addr, 0, span, -1, &window, nullptr, nullptr)) {
+      return LeafResult::kRetry;
+    }
+    window_is_full = true;
+  } else {
+    int end = L.VacancyGroupEnd(vac_group);
+    // Ensure the whole neighborhood [home, home+h) is covered.
+    const int nb_end = (home + h - 1) % span;
+    auto dist = [span](int from, int to) { return (to - from + span) % span; };
+    if (dist(start, nb_end) > dist(start, end)) {
+      end = L.VacancyGroupEnd(L.VacancyGroupOf(nb_end));
+    }
+    int len = dist(start, end) + 1;
+    // The window must cover the whole neighborhood [home, home+h); fall back to a full-node
+    // read when the wrap arithmetic cannot (e.g. very small spans).
+    if (len >= span || dist(start, home) >= len || dist(start, nb_end) >= len) {
+      start = 0;
+      len = span;
+      window_is_full = true;
+    }
+    if (!ReadWindow(client, ref.addr, start, len, /*extra_idx=*/
+                    argmax != LeafLock::kArgmaxUnknown ? static_cast<int>(argmax) : -1,
+                    &window, &argmax_entry, nullptr)) {
+      return LeafResult::kRetry;
+    }
+  }
+
+  if (!window.meta.valid) {
+    return LeafResult::kStaleCache;
+  }
+
+  // Does the key belong to this node? (Half-split corner case, paper §4.2.3.) Fast paths:
+  // a matching sibling pointer, or key <= the node's max key (the argmax entry rides in the
+  // same round trip as the window). The sound fallback reads the sibling's immutable range
+  // floor with one small READ.
+  auto belongs_here = [&]() -> std::optional<bool> {
+    if (!options_.sibling_validation) {
+      if (key < window.meta.fence_lo) {
+        return std::nullopt;  // stale cache
+      }
+      return key < window.meta.fence_hi;
+    }
+    if (window.meta.sibling.is_null()) {
+      return true;
+    }
+    if (ref.expected_known && window.meta.sibling == ref.expected_next) {
+      return true;
+    }
+    if (argmax != LeafLock::kArgmaxUnknown) {
+      const LeafEntry am = window.Covers(static_cast<int>(argmax), span)
+                               ? window.At(static_cast<int>(argmax), span)
+                               : argmax_entry;
+      // Keys moved right during a split are strictly greater than every key that stayed.
+      if (am.used && key <= am.key) {
+        return true;
+      }
+    }
+    if (ref.from_cache) {
+      cache_.Invalidate(ref.parent_addr);
+    }
+    return key < ReadRangeLo(client, window.meta.sibling);
+  };
+  const auto belongs = belongs_here();
+  if (!belongs.has_value()) {
+    return LeafResult::kStaleCache;
+  }
+  if (!*belongs) {
+    *sibling_out = window.meta.sibling;
+    return LeafResult::kFollowSibling;
+  }
+
+  // In-place update when present (the neighborhood is always inside the window).
+  for (int j = 0; j < h; ++j) {
+    const int idx = (home + j) % span;
+    LeafEntry& e = window.At(idx, span);
+    if (e.used && e.key == key) {
+      if (var != nullptr) {
+        std::string bk;
+        std::string bv;
+        if (!ReadVarBlock(client, common::GlobalAddress::Unpack(e.value), &bk, &bv) ||
+            bk != var->full_key) {
+          continue;  // fingerprint collision: a different key owns this entry
+        }
+        e.value = var->encoded_value;
+      } else {
+        e.value = options_.indirect_values
+                      ? WriteIndirectBlock(client, key, value).Pack()
+                      : value;
+      }
+      window.EvAt(idx, span) = (window.EvAt(idx, span) + 1) & 0xF;
+      WriteBackAndUnlock(client, ref.addr, window, {idx},
+                         LeafLock::Pack(false, argmax, vacancy));
+      if (options_.speculative_read) {
+        hotspot_.OnAccess(ref.addr, static_cast<uint16_t>(idx), fp);
+      }
+      return LeafResult::kOk;
+    }
+  }
+
+  // Hopscotch insertion. Find the first empty slot at/after home inside the window; escalate
+  // to a full-node read when the window has none (coarse vacancy bits, rare).
+  auto find_empty = [&]() -> int {
+    for (int d = 0; d < window.len; ++d) {
+      const int idx = (home + d) % span;
+      if (!window.Covers(idx, span)) {
+        continue;
+      }
+      if (!window.At(idx, span).used) {
+        return idx;
+      }
+    }
+    return -1;
+  };
+  int empty = find_empty();
+  if (empty < 0 && !window_is_full) {
+    Window w2;
+    if (!ReadWindow(client, ref.addr, 0, span, -1, &w2, nullptr, nullptr)) {
+      return LeafResult::kRetry;
+    }
+    window = std::move(w2);
+    window_is_full = true;
+    for (int d = 0; d < span; ++d) {
+      const int idx = (home + d) % span;
+      if (!window.At(idx, span).used) {
+        empty = idx;
+        break;
+      }
+    }
+  }
+  if (empty < 0) {
+    *full = std::move(window);
+    if (!window_is_full) {
+      Window w2;
+      while (!ReadWindow(client, ref.addr, 0, span, -1, &w2, nullptr, nullptr)) {
+        client.CountRetry();
+      }
+      *full = std::move(w2);
+    }
+    return LeafResult::kSplitNeeded;
+  }
+
+  // Hop the empty slot backwards into the neighborhood (paper §2.3).
+  auto dist = [span](int from, int to) { return (to - from + span) % span; };
+  std::vector<int> dirty;
+  auto mark_dirty = [&](int idx) {
+    if (std::find(dirty.begin(), dirty.end(), idx) == dirty.end()) {
+      dirty.push_back(idx);
+      window.EvAt(idx, span) = (window.EvAt(idx, span) + 1) & 0xF;
+    }
+  };
+  uint32_t new_argmax = argmax;
+  while (dist(home, empty) >= h) {
+    bool moved = false;
+    for (int back = h - 1; back >= 1; --back) {
+      const int cand = (empty - back + span) % span;
+      if (!window.Covers(cand, span)) {
+        continue;
+      }
+      LeafEntry& ce = window.At(cand, span);
+      if (!ce.used) {
+        continue;
+      }
+      const int cand_home = HomeOf(ce.key);
+      if (dist(cand_home, empty) >= h || !window.Covers(cand_home, span)) {
+        continue;
+      }
+      // Move cand -> empty; retarget the bitmap bit in the candidate's home entry.
+      LeafEntry& dst = window.At(empty, span);
+      dst.used = true;
+      dst.key = ce.key;
+      dst.value = ce.value;
+      LeafEntry& home_e = window.At(cand_home, span);
+      home_e.hop_bitmap = static_cast<uint16_t>(
+          common::ClearBit(home_e.hop_bitmap, dist(cand_home, cand)));
+      home_e.hop_bitmap = static_cast<uint16_t>(
+          common::SetBit(home_e.hop_bitmap, dist(cand_home, empty)));
+      ce.used = false;
+      ce.key = 0;
+      ce.value = 0;
+      mark_dirty(empty);
+      mark_dirty(cand);
+      mark_dirty(cand_home);
+      if (new_argmax == static_cast<uint32_t>(cand)) {
+        new_argmax = static_cast<uint32_t>(empty);
+      }
+      empty = cand;
+      moved = true;
+      break;
+    }
+    if (!moved) {
+      // No feasible hop: split (paper §3.2 "node split and up-propagation").
+      if (!window_is_full) {
+        Window w2;
+        while (!ReadWindow(client, ref.addr, 0, span, -1, &w2, nullptr, nullptr)) {
+          client.CountRetry();
+        }
+        *full = std::move(w2);
+      } else {
+        *full = std::move(window);
+      }
+      return LeafResult::kSplitNeeded;
+    }
+  }
+
+  // Place the new key.
+  LeafEntry& slot = window.At(empty, span);
+  slot.used = true;
+  slot.key = key;
+  slot.value = var != nullptr ? var->encoded_value
+               : options_.indirect_values ? WriteIndirectBlock(client, key, value).Pack()
+                                          : value;
+  LeafEntry& home_e = window.At(home, span);
+  home_e.hop_bitmap =
+      static_cast<uint16_t>(common::SetBit(home_e.hop_bitmap, dist(home, empty)));
+  mark_dirty(empty);
+  mark_dirty(home);
+
+  // Maintain argmax (paper §4.2.3): the fetched argmax entry (or full window) tells us
+  // whether the new key is the node's max.
+  if (new_argmax == LeafLock::kArgmaxUnknown) {
+    if (window_is_full) {
+      common::Key max_key = 0;
+      for (int idx = 0; idx < span; ++idx) {
+        const LeafEntry& e = window.At(idx, span);
+        if (e.used && e.key >= max_key) {
+          max_key = e.key;
+          new_argmax = static_cast<uint32_t>(idx);
+        }
+      }
+    }
+  } else {
+    const LeafEntry am = window.Covers(static_cast<int>(new_argmax), span)
+                             ? window.At(static_cast<int>(new_argmax), span)
+                             : argmax_entry;
+    // The argmax entry was batch-fetched when outside the window; when the window covers it
+    // we have it directly. A missing/stale argmax is repaired conservatively.
+    if (!am.used) {
+      new_argmax = static_cast<uint32_t>(empty);
+    } else if (key > am.key) {
+      new_argmax = static_cast<uint32_t>(empty);
+    }
+  }
+
+  const uint64_t new_vacancy = ComputeVacancy(window, vacancy);
+  WriteBackAndUnlock(client, ref.addr, window, dirty,
+                     LeafLock::Pack(false, new_argmax, new_vacancy));
+  if (options_.speculative_read) {
+    hotspot_.OnAccess(ref.addr, static_cast<uint16_t>(empty), fp);
+  }
+  return LeafResult::kOk;
+}
+
+void ChimeTree::Insert(dmsim::Client& client, common::Key key, common::Value value) {
+  InsertImpl(client, key, value, nullptr);
+}
+
+void ChimeTree::InsertImpl(dmsim::Client& client, common::Key key, common::Value value,
+                           const VarContext* var) {
+  assert(key != 0 && "key 0 is the empty-slot sentinel");
+  client.BeginOp();
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, key, &ref)) {
+      break;
+    }
+    bool done = false;
+    bool descend_again = false;
+    for (int hops = 0; hops < 64 && !done && !descend_again; ++hops) {
+      const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
+      Window full;
+      common::GlobalAddress sibling;
+      const LeafResult r = TryInsertLocked(client, ref, key, value, lock_word, &full,
+                                           &sibling, var);
+      switch (r) {
+        case LeafResult::kOk:
+          done = true;
+          break;
+        case LeafResult::kFollowSibling:
+          ReleaseLeafLock(client, ref.addr, lock_word);
+          ref.addr = sibling;
+          ref.from_cache = false;
+          break;
+        case LeafResult::kStaleCache:
+          ReleaseLeafLock(client, ref.addr, lock_word);
+          cache_.Invalidate(ref.parent_addr);
+          descend_again = true;
+          break;
+        case LeafResult::kSplitNeeded:
+          SplitLeafAndUnlock(client, ref, &full, lock_word);
+          descend_again = true;  // the tree changed; re-locate and retry
+          break;
+        case LeafResult::kRetry:
+        default:
+          ReleaseLeafLock(client, ref.addr, lock_word);
+          descend_again = true;
+          break;
+      }
+    }
+    if (done) {
+      client.EndOp(dmsim::OpType::kInsert);
+      return;
+    }
+  }
+  client.EndOp(dmsim::OpType::kInsert);
+  assert(false && "Insert failed to converge");
+}
+
+// ---- Leaf split ------------------------------------------------------------------------------
+
+bool ChimeTree::BuildLeafImage(const std::vector<std::pair<common::Key, common::Value>>& items,
+                               const LeafMeta& meta, uint8_t nv,
+                               std::vector<uint8_t>* image) const {
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+  const int h = L.h();
+  std::vector<LeafEntry> slots(static_cast<size_t>(span));
+  auto dist = [span](int from, int to) { return (to - from + span) % span; };
+  for (const auto& [key, value] : items) {
+    const int home = HomeOf(key);
+    int empty = -1;
+    for (int d = 0; d < span; ++d) {
+      if (!slots[static_cast<size_t>((home + d) % span)].used) {
+        empty = (home + d) % span;
+        break;
+      }
+    }
+    if (empty < 0) {
+      return false;
+    }
+    bool placed = false;
+    while (!placed) {
+      if (dist(home, empty) < h) {
+        slots[static_cast<size_t>(empty)].used = true;
+        slots[static_cast<size_t>(empty)].key = key;
+        slots[static_cast<size_t>(empty)].value = value;
+        slots[static_cast<size_t>(home)].hop_bitmap = static_cast<uint16_t>(
+            common::SetBit(slots[static_cast<size_t>(home)].hop_bitmap, dist(home, empty)));
+        placed = true;
+        break;
+      }
+      bool moved = false;
+      for (int back = h - 1; back >= 1; --back) {
+        const int cand = (empty - back + span) % span;
+        LeafEntry& ce = slots[static_cast<size_t>(cand)];
+        if (!ce.used) {
+          continue;
+        }
+        const int ch = HomeOf(ce.key);
+        if (dist(ch, empty) >= h) {
+          continue;
+        }
+        LeafEntry& dst = slots[static_cast<size_t>(empty)];
+        dst.used = true;
+        dst.key = ce.key;
+        dst.value = ce.value;
+        LeafEntry& he = slots[static_cast<size_t>(ch)];
+        he.hop_bitmap =
+            static_cast<uint16_t>(common::ClearBit(he.hop_bitmap, dist(ch, cand)));
+        he.hop_bitmap =
+            static_cast<uint16_t>(common::SetBit(he.hop_bitmap, dist(ch, empty)));
+        ce.used = false;
+        ce.key = 0;
+        ce.value = 0;
+        empty = cand;
+        moved = true;
+        break;
+      }
+      if (!moved) {
+        return false;
+      }
+    }
+  }
+
+  // Serialize.
+  image->assign(L.node_bytes(), 0);
+  std::vector<uint8_t> data(std::max(L.entry_data_len(), L.meta_data_len()));
+  const uint8_t ver = PackVersion(nv, 0);
+  std::fill(data.begin(), data.end(), 0);
+  L.EncodeMeta(meta, data.data());
+  for (int g = 0; g < L.groups(); ++g) {
+    CellCodec::Store(image->data(), L.replica_cell(g), data.data(), ver);
+  }
+  common::Key max_key = 0;
+  uint32_t argmax = LeafLock::kArgmaxUnknown;
+  for (int i = 0; i < span; ++i) {
+    std::fill(data.begin(), data.end(), 0);
+    L.EncodeEntry(slots[static_cast<size_t>(i)], data.data());
+    CellCodec::Store(image->data(), L.entry_cell(i), data.data(), ver);
+    if (slots[static_cast<size_t>(i)].used && slots[static_cast<size_t>(i)].key >= max_key) {
+      max_key = slots[static_cast<size_t>(i)].key;
+      argmax = static_cast<uint32_t>(i);
+    }
+  }
+  std::fill(data.begin(), data.end(), 0);
+  L.EncodeRangeLo(meta.fence_lo, data.data());
+  CellCodec::Store(image->data(), L.range_lo_cell(), data.data(), ver);
+  uint64_t vacancy = 0;
+  for (int g = 0; g < L.vacancy_groups(); ++g) {
+    for (int idx = L.VacancyGroupStart(g); idx <= L.VacancyGroupEnd(g); ++idx) {
+      if (!slots[static_cast<size_t>(idx)].used) {
+        vacancy = common::SetBit(vacancy, g);
+        break;
+      }
+    }
+  }
+  const uint64_t lock = LeafLock::Pack(false, argmax, vacancy);
+  std::memcpy(image->data() + L.lock_offset(), &lock, 8);
+  return true;
+}
+
+void ChimeTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref,
+                                   Window* full_window, uint64_t lock_word) {
+  (void)lock_word;
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+
+  std::vector<std::pair<common::Key, common::Value>> items;
+  items.reserve(static_cast<size_t>(span));
+  for (int i = 0; i < span; ++i) {
+    const LeafEntry& e = full_window->At(i, span);
+    if (e.used) {
+      items.emplace_back(e.key, e.value);
+    }
+  }
+  std::sort(items.begin(), items.end());
+  assert(items.size() >= 2 && "splitting a nearly-empty node");
+  assert(items.front().first != items.back().first &&
+         "fingerprint-collision capacity exceeded: more than one neighborhood of keys share "
+         "one 8-byte prefix (see tree.h, variable-length keys)");
+  // Variable-length mode stores fingerprints that may repeat (prefix collisions); a run of
+  // equal fingerprints must land entirely in one half or searches would miss its tail.
+  auto run_start = [&](size_t m) {
+    while (m > 1 && items[m].first == items[m - 1].first) {
+      m--;
+    }
+    return m;
+  };
+  (void)run_start;
+
+  // The left half keeps the node's immutable range floor.
+  const common::Key old_range_lo = ReadRangeLo(client, ref.addr);
+
+  // Median split; nudge the split point when local hopscotch placement of a half fails
+  // (possible at small neighborhood sizes where load variance is high).
+  const common::GlobalAddress new_addr = client.Alloc(L.node_bytes(), kLineBytes);
+  std::vector<uint8_t> right_image;
+  std::vector<uint8_t> left_image;
+  size_t m = items.size() / 2;
+  bool built = false;
+  for (int attempt = 0; attempt < 16 && !built; ++attempt) {
+    size_t mm = m + static_cast<size_t>((attempt + 1) / 2) *
+                        (attempt % 2 == 0 ? 1 : -1) * 1;
+    if (mm < 1 || mm >= items.size()) {
+      continue;
+    }
+    mm = run_start(mm);
+    if (mm < 1) {
+      continue;
+    }
+    const common::Key split_pivot = items[mm].first;
+    LeafMeta right_meta;
+    right_meta.valid = true;
+    right_meta.sibling = full_window->meta.sibling;
+    right_meta.fence_lo = split_pivot;
+    right_meta.fence_hi = full_window->meta.fence_hi;
+    LeafMeta left_meta;
+    left_meta.valid = true;
+    left_meta.sibling = new_addr;
+    left_meta.fence_lo = options_.sibling_validation ? old_range_lo
+                                                     : full_window->meta.fence_lo;
+    left_meta.fence_hi = split_pivot;
+    std::vector<std::pair<common::Key, common::Value>> right_items(
+        items.begin() + static_cast<long>(mm), items.end());
+    std::vector<std::pair<common::Key, common::Value>> left_items(
+        items.begin(), items.begin() + static_cast<long>(mm));
+    const uint8_t nv = static_cast<uint8_t>((full_window->node_nv + 1) & 0xF);
+    if (BuildLeafImage(right_items, right_meta, 0, &right_image) &&
+        BuildLeafImage(left_items, left_meta, nv, &left_image)) {
+      built = true;
+      m = mm;
+    }
+  }
+  assert(built && "leaf split could not re-place either half");
+  const common::Key split_pivot = items[m].first;
+
+  // New node first, then the old node (which publishes the sibling pointer and releases the
+  // lock in the same WRITE) — paper §4.2.2.
+  client.Write(new_addr, right_image.data(), static_cast<uint32_t>(right_image.size()));
+  client.Write(ref.addr, left_image.data(), static_cast<uint32_t>(left_image.size()));
+
+  InsertIntoParent(client, ref.path, /*level=*/1, split_pivot, new_addr, ref.addr);
+}
+
+// ---- Up-propagation (paper §4.4, Steps 1-3) ---------------------------------------------------
+
+void ChimeTree::LockInternal(dmsim::Client& client, common::GlobalAddress node) {
+  const common::GlobalAddress lock_addr = node + internal_layout_.lock_offset();
+  int spin = 0;
+  while (client.Cas(lock_addr, 0, 1) != 0) {
+    client.CountRetry();
+    CpuRelax(spin++);
+  }
+}
+
+void ChimeTree::UnlockInternal(dmsim::Client& client, common::GlobalAddress node) {
+  const uint64_t zero = 0;
+  client.Write(node + internal_layout_.lock_offset(), &zero, 8);
+}
+
+void ChimeTree::InsertIntoParent(dmsim::Client& client,
+                                 const std::vector<common::GlobalAddress>& path, int level,
+                                 common::Key pivot, common::GlobalAddress new_child,
+                                 common::GlobalAddress left_child) {
+  (void)left_child;
+  const InternalLayout& IL = internal_layout_;
+  common::GlobalAddress cur = static_cast<size_t>(level) < path.size()
+                                  ? path[static_cast<size_t>(level)]
+                                  : common::GlobalAddress::Null();
+  std::vector<uint8_t> buf(IL.node_bytes());
+  std::vector<uint8_t> image;
+  InternalHeader header;
+  std::vector<InternalEntry> entries;
+
+  while (true) {
+    if (cur.is_null()) {
+      cur = TraverseToLevel(client, pivot, level);
+    }
+    LockInternal(client, cur);
+    // Fresh read under the lock (single writer; validation must pass).
+    bool ok = false;
+    for (int retry = 0; retry < kMaxReadRetries && !ok; ++retry) {
+      client.Read(cur, buf.data(), IL.lock_offset());
+      ok = IL.DecodeNode(buf.data(), &header, &entries);
+    }
+    assert(ok);
+    if (!header.valid || pivot < header.fence_lo) {
+      UnlockInternal(client, cur);
+      cur = common::GlobalAddress::Null();
+      continue;
+    }
+    if (pivot >= header.fence_hi) {
+      UnlockInternal(client, cur);
+      cur = header.sibling;
+      assert(!cur.is_null());
+      continue;
+    }
+
+    // Insert (pivot -> new_child) in sorted position.
+    auto it = std::upper_bound(entries.begin(), entries.end(), pivot,
+                               [](common::Key k, const InternalEntry& e) {
+                                 return k < e.pivot;
+                               });
+    entries.insert(it, InternalEntry{pivot, new_child});
+
+    if (entries.size() <= static_cast<size_t>(IL.span())) {
+      // Fits: write the whole node back; the zeroed lock word in the image releases the lock.
+      InternalHeader h = header;
+      const uint8_t nv = static_cast<uint8_t>(
+          (VersionNv(CellCodec::PeekVersion(buf.data(), IL.header_cell())) + 1) & 0xF);
+      IL.EncodeNode(h, entries, nv, &image);
+      client.Write(cur, image.data(), static_cast<uint32_t>(image.size()));
+      // Refresh the local cache with the new snapshot.
+      auto node = std::make_shared<cncache::CachedNode>();
+      node->addr = cur;
+      node->level = h.level;
+      node->fence_lo = h.fence_lo;
+      node->fence_hi = h.fence_hi;
+      node->sibling = h.sibling;
+      for (const auto& e : entries) {
+        node->entries.emplace_back(e.pivot, e.child);
+      }
+      cache_.Put(node);
+      return;
+    }
+
+    // Overflow: split this internal node, then propagate one level up.
+    const size_t mid = entries.size() / 2;
+    const common::Key split_pivot = entries[mid].pivot;
+    std::vector<InternalEntry> right_entries(entries.begin() + static_cast<long>(mid),
+                                             entries.end());
+    entries.resize(mid);
+
+    const common::GlobalAddress right_addr = client.Alloc(IL.node_bytes(), kLineBytes);
+    InternalHeader right_header = header;
+    right_header.fence_lo = split_pivot;
+    right_header.sibling = header.sibling;
+    IL.EncodeNode(right_header, right_entries, 0, &image);
+    client.Write(right_addr, image.data(), static_cast<uint32_t>(image.size()));
+
+    InternalHeader left_header = header;
+    left_header.fence_hi = split_pivot;
+    left_header.sibling = right_addr;
+    const uint8_t nv = static_cast<uint8_t>(
+        (VersionNv(CellCodec::PeekVersion(buf.data(), IL.header_cell())) + 1) & 0xF);
+    IL.EncodeNode(left_header, entries, nv, &image);
+    client.Write(cur, image.data(), static_cast<uint32_t>(image.size()));
+    cache_.Invalidate(cur);
+
+    const uint64_t root_snapshot = cached_root_.load(std::memory_order_acquire);
+    if (root_snapshot == cur.Pack()) {
+      // Root split (paper Step 3): allocate a new root and swing the global root pointer.
+      const common::GlobalAddress new_root = client.Alloc(IL.node_bytes(), kLineBytes);
+      InternalHeader root_header;
+      root_header.level = static_cast<uint8_t>(header.level + 1);
+      root_header.valid = true;
+      root_header.fence_lo = common::kMinKey;
+      root_header.fence_hi = common::kMaxKey;
+      root_header.sibling = common::GlobalAddress::Null();
+      std::vector<InternalEntry> root_entries{{left_header.fence_lo, cur},
+                                              {split_pivot, right_addr}};
+      IL.EncodeNode(root_header, root_entries, 0, &image);
+      client.Write(new_root, image.data(), static_cast<uint32_t>(image.size()));
+      const uint64_t observed = client.Cas(root_ptr_addr_, cur.Pack(), new_root.Pack());
+      if (observed == cur.Pack()) {
+        cached_root_.store(new_root.Pack(), std::memory_order_release);
+        height_.store(root_header.level, std::memory_order_relaxed);
+        return;
+      }
+      // Lost the race: someone split the root before us; insert into the new upper level.
+      RefreshRoot(client);
+    }
+    pivot = split_pivot;
+    new_child = right_addr;
+    level = header.level + 1;
+    cur = static_cast<size_t>(level) < path.size() ? path[static_cast<size_t>(level)]
+                                                   : common::GlobalAddress::Null();
+  }
+}
+
+}  // namespace chime

@@ -1,0 +1,353 @@
+// ChimeTree scan, whole-tree dump, and indirect (variable-length) value blocks.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <string>
+
+#include "src/common/bitops.h"
+#include "src/common/hash.h"
+#include "src/core/tree.h"
+
+namespace chime {
+
+namespace {
+constexpr int kMaxOpRestarts = 256;
+constexpr int kMaxReadRetries = 100000;
+}  // namespace
+
+// Parses a whole-leaf image fetched in one READ (used by scans; cheaper than ReadWindow when
+// many leaves are batched). Returns false on version inconsistency.
+namespace {
+
+struct ParsedLeaf {
+  std::vector<LeafEntry> entries;
+  LeafMeta meta;
+};
+
+bool ParseLeafImage(const LeafLayout& L, const uint8_t* image, ParsedLeaf* out) {
+  std::vector<uint8_t> data(std::max(L.entry_data_len(), L.meta_data_len()));
+  uint8_t ver0 = 0;
+  if (!CellCodec::Load(image, L.replica_cell(0), data.data(), &ver0)) {
+    return false;
+  }
+  out->meta = L.DecodeMeta(data.data());
+  out->entries.resize(static_cast<size_t>(L.span()));
+  for (int i = 0; i < L.span(); ++i) {
+    uint8_t ver = 0;
+    if (!CellCodec::Load(image, L.entry_cell(i), data.data(), &ver) ||
+        VersionNv(ver) != VersionNv(ver0)) {
+      return false;
+    }
+    out->entries[static_cast<size_t>(i)] = L.DecodeEntry(data.data());
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t ChimeTree::Scan(dmsim::Client& client, common::Key start, size_t count,
+                       std::vector<std::pair<common::Key, common::Value>>* out) {
+  return ScanInternal(client, start, count, out, /*resolve_indirect=*/true);
+}
+
+size_t ChimeTree::ScanInternal(dmsim::Client& client, common::Key start, size_t count,
+                               std::vector<std::pair<common::Key, common::Value>>* out,
+                               bool resolve_indirect) {
+  assert(start != 0);
+  out->clear();
+  if (count == 0) {
+    return 0;
+  }
+  client.BeginOp();
+  const LeafLayout& L = leaf_layout_;
+  const uint32_t leaf_bytes = L.lock_offset();  // cells only; the lock word is not needed
+
+  for (int restart = 0; restart < kMaxOpRestarts && out->empty(); ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, start, &ref)) {
+      break;
+    }
+    // Gather consecutive leaf addresses from the cached parent so one doorbell batch can
+    // fetch several leaves in a single round trip (paper §4.4 "Scan": parallel READs).
+    std::vector<common::GlobalAddress> prefetch;
+    prefetch.push_back(ref.addr);
+    if (auto parent = cache_.Get(ref.parent_addr); parent != nullptr) {
+      const int idx = parent->FindChild(start);
+      // Expect roughly half-full leaves; +1 to cover the partial first leaf.
+      const size_t want = count / (static_cast<size_t>(L.span()) / 2 + 1) + 2;
+      for (size_t i = static_cast<size_t>(idx) + 1;
+           i < parent->entries.size() && prefetch.size() < want && prefetch.size() < 32;
+           ++i) {
+        prefetch.push_back(parent->entries[i].second);
+      }
+    }
+
+    std::vector<std::vector<uint8_t>> bufs(prefetch.size());
+    std::vector<dmsim::BatchEntry> batch;
+    for (size_t i = 0; i < prefetch.size(); ++i) {
+      bufs[i].resize(leaf_bytes);
+      batch.push_back({prefetch[i], bufs[i].data(), leaf_bytes});
+    }
+    if (batch.size() == 1) {
+      client.Read(batch[0].addr, batch[0].local, batch[0].len);
+    } else {
+      client.ReadBatch(batch);
+    }
+
+    bool aborted = false;
+    common::GlobalAddress next_by_chain;
+    for (size_t i = 0; i < prefetch.size() && out->size() < count; ++i) {
+      ParsedLeaf leaf;
+      int retry = 0;
+      while (!ParseLeafImage(L, bufs[i].data(), &leaf)) {
+        client.CountRetry();
+        if (++retry > kMaxReadRetries) {
+          aborted = true;
+          break;
+        }
+        client.Read(prefetch[i], bufs[i].data(), leaf_bytes);
+      }
+      if (aborted || !leaf.meta.valid) {
+        aborted = true;
+        break;
+      }
+      std::vector<std::pair<common::Key, common::Value>> items;
+      for (const LeafEntry& e : leaf.entries) {
+        if (e.used && e.key >= start) {
+          items.emplace_back(e.key, e.value);
+        }
+      }
+      std::sort(items.begin(), items.end());
+      for (auto& kv : items) {
+        if (out->size() >= count) {
+          break;
+        }
+        out->push_back(kv);
+      }
+      next_by_chain = leaf.meta.sibling;
+    }
+    if (aborted) {
+      out->clear();
+      cache_.Invalidate(ref.parent_addr);
+      continue;
+    }
+
+    // Continue along the sibling chain for anything the prefetch did not cover.
+    common::GlobalAddress cur = next_by_chain;
+    int walked = 0;
+    while (out->size() < count && !cur.is_null() && walked++ < 4096) {
+      std::vector<uint8_t> buf(leaf_bytes);
+      client.Read(cur, buf.data(), leaf_bytes);
+      ParsedLeaf leaf;
+      int retry = 0;
+      bool ok = true;
+      while (!ParseLeafImage(L, buf.data(), &leaf)) {
+        client.CountRetry();
+        if (++retry > kMaxReadRetries) {
+          ok = false;
+          break;
+        }
+        client.Read(cur, buf.data(), leaf_bytes);
+      }
+      if (!ok || !leaf.meta.valid) {
+        break;
+      }
+      std::vector<std::pair<common::Key, common::Value>> items;
+      for (const LeafEntry& e : leaf.entries) {
+        if (e.used && e.key >= start) {
+          items.emplace_back(e.key, e.value);
+        }
+      }
+      std::sort(items.begin(), items.end());
+      for (auto& kv : items) {
+        if (out->size() >= count) {
+          break;
+        }
+        out->push_back(kv);
+      }
+      cur = leaf.meta.sibling;
+    }
+  }
+
+  // Indirect mode: resolve the collected block pointers with one batched READ round.
+  if (options_.indirect_values && resolve_indirect && !out->empty()) {
+    std::vector<std::vector<uint8_t>> blocks(out->size());
+    std::vector<dmsim::BatchEntry> batch;
+    for (size_t i = 0; i < out->size(); ++i) {
+      blocks[i].resize(static_cast<size_t>(options_.indirect_block_bytes));
+      batch.push_back({common::GlobalAddress::Unpack((*out)[i].second), blocks[i].data(),
+                       static_cast<uint32_t>(options_.indirect_block_bytes)});
+    }
+    client.ReadBatch(batch);
+    for (size_t i = 0; i < out->size(); ++i) {
+      common::Value v = 0;
+      std::memcpy(&v, blocks[i].data() + 8, 8);
+      (*out)[i].second = v;
+    }
+  }
+
+  client.EndOp(dmsim::OpType::kScan);
+  return out->size();
+}
+
+std::vector<std::pair<common::Key, common::Value>> ChimeTree::DumpAll(dmsim::Client& client) {
+  std::vector<std::pair<common::Key, common::Value>> all;
+  client.BeginOp();
+  LeafRef ref;
+  if (!LocateLeaf(client, 1, &ref)) {
+    client.AbortOp();
+    return all;
+  }
+  const LeafLayout& L = leaf_layout_;
+  common::GlobalAddress cur = ref.addr;
+  std::vector<uint8_t> buf(L.lock_offset());
+  while (!cur.is_null()) {
+    ParsedLeaf leaf;
+    int retry = 0;
+    do {
+      client.Read(cur, buf.data(), static_cast<uint32_t>(buf.size()));
+    } while (!ParseLeafImage(L, buf.data(), &leaf) && ++retry < kMaxReadRetries);
+    for (const LeafEntry& e : leaf.entries) {
+      if (e.used) {
+        common::Value v = e.value;
+        if (options_.indirect_values) {
+          ReadIndirectBlock(client, common::GlobalAddress::Unpack(e.value), e.key, &v);
+        }
+        all.emplace_back(e.key, v);
+      }
+    }
+    cur = leaf.meta.sibling;
+  }
+  client.AbortOp();
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+bool ChimeTree::ValidateStructure(dmsim::Client& client, std::string* why) {
+  client.BeginOp();
+  LeafRef ref;
+  if (!LocateLeaf(client, 1, &ref)) {
+    client.AbortOp();
+    *why = "cannot locate the leftmost leaf";
+    return false;
+  }
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+  const int h = L.h();
+  common::GlobalAddress cur = ref.addr;
+  common::Key prev_max = 0;
+  int leaf_index = 0;
+  bool ok = true;
+  while (!cur.is_null() && ok) {
+    Window full;
+    if (!ReadWindow(client, cur, 0, span, -1, &full, nullptr, nullptr)) {
+      *why = "leaf read failed validation on a quiesced tree";
+      ok = false;
+      break;
+    }
+    // Lock word.
+    uint64_t lock_word = 0;
+    client.Read(cur + L.lock_offset(), &lock_word, 8);
+    if (LeafLock::Locked(lock_word)) {
+      *why = "leaf left locked";
+      ok = false;
+      break;
+    }
+    const common::Key range_lo = ReadRangeLo(client, cur);
+    common::Key max_key = 0;
+    int true_argmax = -1;
+    for (int i = 0; i < span && ok; ++i) {
+      const LeafEntry& e = full.At(i, span);
+      if (!e.used) {
+        continue;
+      }
+      const int home = HomeOf(e.key);
+      if ((i - home + span) % span >= h) {
+        *why = "key outside its neighborhood at leaf " + std::to_string(leaf_index);
+        ok = false;
+      }
+      if (e.key < range_lo) {
+        *why = "key below the node's range floor at leaf " + std::to_string(leaf_index);
+        ok = false;
+      }
+      if (e.key <= prev_max && leaf_index > 0) {
+        *why = "leaf-chain key ordering violated at leaf " + std::to_string(leaf_index);
+        ok = false;
+      }
+      if (e.key >= max_key) {
+        max_key = e.key;
+        true_argmax = i;
+      }
+    }
+    // Hopscotch bitmaps must be exact on a quiesced tree.
+    for (int home = 0; home < span && ok; ++home) {
+      if (!HopBitmapConsistent(full, home)) {
+        *why = "hopscotch bitmap mismatch at leaf " + std::to_string(leaf_index);
+        ok = false;
+      }
+    }
+    // Vacancy bits may be conservatively stale-1, never stale-0.
+    const uint64_t vacancy = LeafLock::Vacancy(lock_word);
+    for (int g = 0; g < L.vacancy_groups() && ok; ++g) {
+      bool any_free = false;
+      for (int i = L.VacancyGroupStart(g); i <= L.VacancyGroupEnd(g); ++i) {
+        any_free |= !full.At(i, span).used;
+      }
+      if (any_free && !common::TestBit(vacancy, g)) {
+        *why = "vacancy bit claims a full group that has free entries (stale-0) at leaf " +
+               std::to_string(leaf_index);
+        ok = false;
+      }
+    }
+    // Argmax, when known, must point at an occupied entry holding the node's max key (or a
+    // key — it is a witness, see tree_ops.cc — we require exactness on a quiesced tree
+    // unless it was invalidated by a delete).
+    const uint32_t argmax = LeafLock::Argmax(lock_word);
+    if (ok && argmax != LeafLock::kArgmaxUnknown && true_argmax >= 0) {
+      const LeafEntry& am = full.At(static_cast<int>(argmax), span);
+      if (!am.used) {
+        *why = "argmax points at an empty entry at leaf " + std::to_string(leaf_index);
+        ok = false;
+      }
+    }
+    if (max_key > 0) {
+      prev_max = max_key;
+    }
+    cur = full.meta.sibling;
+    leaf_index++;
+  }
+  client.AbortOp();
+  return ok;
+}
+
+// ---- Indirect (variable-length) blocks (paper §4.5) --------------------------------------------
+
+common::GlobalAddress ChimeTree::WriteIndirectBlock(dmsim::Client& client, common::Key key,
+                                                    common::Value value) {
+  // Out-of-place: a fresh block per write keeps readers of the old block consistent.
+  const common::GlobalAddress block =
+      client.Alloc(static_cast<size_t>(options_.indirect_block_bytes), 8);
+  std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
+  std::memcpy(buf.data(), &key, 8);
+  std::memcpy(buf.data() + 8, &value, 8);
+  client.Write(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  return block;
+}
+
+bool ChimeTree::ReadIndirectBlock(dmsim::Client& client, common::GlobalAddress block,
+                                  common::Key key, common::Value* value) {
+  if (block.is_null()) {
+    return false;
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
+  client.Read(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  common::Key stored = 0;
+  std::memcpy(&stored, buf.data(), 8);
+  if (stored != key) {
+    return false;  // fingerprint collision or raced entry; caller re-reads
+  }
+  std::memcpy(value, buf.data() + 8, 8);
+  return true;
+}
+
+}  // namespace chime

@@ -1,0 +1,264 @@
+// Variable-length key/value operations (paper §4.5): leaf entries hold an order-preserving
+// 8-byte prefix fingerprint plus a block pointer; the full key and value live in the block.
+// Fingerprint collisions are resolved by fetching and comparing every matching block.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/core/tree.h"
+
+namespace chime {
+
+namespace {
+constexpr int kMaxOpRestarts = 256;
+}  // namespace
+
+common::Key ChimeTree::VarFingerprint(std::string_view key) {
+  // Big-endian prefix packing keeps numeric fingerprint order equal to the lexicographic
+  // order of 8-byte key prefixes, which the B+-tree pivots rely on.
+  common::Key fp = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    fp = (fp << 8) | (i < key.size() ? static_cast<uint8_t>(key[i]) : 0);
+  }
+  return fp != 0 ? fp : 1;  // 0 is the empty-slot sentinel
+}
+
+common::GlobalAddress ChimeTree::WriteVarBlock(dmsim::Client& client, std::string_view key,
+                                               std::string_view value) {
+  const size_t needed = 4 + key.size() + value.size();
+  assert(needed <= static_cast<size_t>(options_.indirect_block_bytes) &&
+         "key+value exceed the configured block size");
+  (void)needed;
+  std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
+  buf[0] = static_cast<uint8_t>(key.size());
+  buf[1] = static_cast<uint8_t>(key.size() >> 8);
+  buf[2] = static_cast<uint8_t>(value.size());
+  buf[3] = static_cast<uint8_t>(value.size() >> 8);
+  std::memcpy(buf.data() + 4, key.data(), key.size());
+  std::memcpy(buf.data() + 4 + key.size(), value.data(), value.size());
+  const common::GlobalAddress block =
+      client.Alloc(static_cast<size_t>(options_.indirect_block_bytes), 8);
+  client.Write(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  return block;
+}
+
+bool ChimeTree::ReadVarBlock(dmsim::Client& client, common::GlobalAddress block,
+                             std::string* key, std::string* value) {
+  if (block.is_null()) {
+    return false;
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
+  client.Read(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  const size_t klen = static_cast<size_t>(buf[0]) | (static_cast<size_t>(buf[1]) << 8);
+  const size_t vlen = static_cast<size_t>(buf[2]) | (static_cast<size_t>(buf[3]) << 8);
+  if (4 + klen + vlen > buf.size() || klen == 0) {
+    return false;  // torn or foreign block
+  }
+  key->assign(reinterpret_cast<const char*>(buf.data() + 4), klen);
+  value->assign(reinterpret_cast<const char*>(buf.data() + 4 + klen), vlen);
+  return true;
+}
+
+bool ChimeTree::SearchVar(dmsim::Client& client, std::string_view key, std::string* value) {
+  assert(options_.indirect_values && "variable-length mode requires indirect_values");
+  assert(!key.empty());
+  const common::Key fp = VarFingerprint(key);
+  VarContext var;
+  var.full_key = key;
+  var.value_out = value;
+
+  client.BeginOp();
+  bool found = false;
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, fp, &ref)) {
+      break;
+    }
+    bool done = false;
+    for (int hops = 0; hops < 64; ++hops) {
+      common::GlobalAddress sibling;
+      common::Value unused = 0;
+      const LeafResult r = SearchLeaf(client, ref, fp, &unused, &sibling, &var);
+      if (r == LeafResult::kOk) {
+        found = true;
+        done = true;
+        break;
+      }
+      if (r == LeafResult::kNotFound) {
+        done = true;
+        break;
+      }
+      if (r == LeafResult::kFollowSibling) {
+        ref.addr = sibling;
+        ref.from_cache = false;
+        continue;
+      }
+      if (r == LeafResult::kStaleCache) {
+        cache_.Invalidate(ref.parent_addr);
+      }
+      break;
+    }
+    if (done) {
+      break;
+    }
+  }
+  client.EndOp(dmsim::OpType::kSearch);
+  return found;
+}
+
+void ChimeTree::InsertVar(dmsim::Client& client, std::string_view key,
+                          std::string_view value) {
+  assert(options_.indirect_values && "variable-length mode requires indirect_values");
+  assert(!key.empty());
+  client.BeginOp();
+  const common::GlobalAddress block = WriteVarBlock(client, key, value);
+  client.AbortOp();
+  VarContext var;
+  var.full_key = key;
+  var.encoded_value = block.Pack();
+  InsertImpl(client, VarFingerprint(key), var.encoded_value, &var);
+}
+
+bool ChimeTree::UpdateVar(dmsim::Client& client, std::string_view key,
+                          std::string_view value) {
+  assert(options_.indirect_values && "variable-length mode requires indirect_values");
+  assert(!key.empty());
+  client.BeginOp();
+  const common::GlobalAddress block = WriteVarBlock(client, key, value);
+  client.AbortOp();
+  VarContext var;
+  var.full_key = key;
+  var.encoded_value = block.Pack();
+  const common::Key fp = VarFingerprint(key);
+
+  client.BeginOp();
+  bool found = false;
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, fp, &ref)) {
+      break;
+    }
+    bool done = false;
+    bool descend_again = false;
+    for (int hops = 0; hops < 64 && !done && !descend_again; ++hops) {
+      const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
+      common::GlobalAddress sibling;
+      const MutateResult r = TryMutateLocked(client, ref, fp, lock_word, /*is_delete=*/false,
+                                             var.encoded_value, &sibling, &var);
+      switch (r) {
+        case MutateResult::kDone:
+          found = true;
+          done = true;
+          break;
+        case MutateResult::kNotFound:
+          done = true;
+          break;
+        case MutateResult::kFollowSibling:
+          ref.addr = sibling;
+          ref.from_cache = false;
+          break;
+        case MutateResult::kStaleCache:
+          cache_.Invalidate(ref.parent_addr);
+          descend_again = true;
+          break;
+        case MutateResult::kRetry:
+        default:
+          descend_again = true;
+          break;
+      }
+    }
+    if (done) {
+      break;
+    }
+  }
+  client.EndOp(dmsim::OpType::kUpdate);
+  return found;
+}
+
+bool ChimeTree::DeleteVar(dmsim::Client& client, std::string_view key) {
+  assert(options_.indirect_values && "variable-length mode requires indirect_values");
+  assert(!key.empty());
+  VarContext var;
+  var.full_key = key;
+  const common::Key fp = VarFingerprint(key);
+
+  client.BeginOp();
+  bool found = false;
+  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+    LeafRef ref;
+    if (!LocateLeaf(client, fp, &ref)) {
+      break;
+    }
+    bool done = false;
+    bool descend_again = false;
+    for (int hops = 0; hops < 64 && !done && !descend_again; ++hops) {
+      const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
+      common::GlobalAddress sibling;
+      const MutateResult r = TryMutateLocked(client, ref, fp, lock_word, /*is_delete=*/true,
+                                             0, &sibling, &var);
+      switch (r) {
+        case MutateResult::kDone:
+          found = true;
+          done = true;
+          break;
+        case MutateResult::kNotFound:
+          done = true;
+          break;
+        case MutateResult::kFollowSibling:
+          ref.addr = sibling;
+          ref.from_cache = false;
+          break;
+        case MutateResult::kStaleCache:
+          cache_.Invalidate(ref.parent_addr);
+          descend_again = true;
+          break;
+        case MutateResult::kRetry:
+        default:
+          descend_again = true;
+          break;
+      }
+    }
+    if (done) {
+      break;
+    }
+  }
+  client.EndOp(dmsim::OpType::kDelete);
+  return found;
+}
+
+size_t ChimeTree::ScanVar(dmsim::Client& client, std::string_view start, size_t count,
+                          std::vector<std::pair<std::string, std::string>>* out) {
+  assert(options_.indirect_values && "variable-length mode requires indirect_values");
+  out->clear();
+  if (count == 0) {
+    return 0;
+  }
+  // Collect (fingerprint, block) pairs in fingerprint order, over-fetching a little to absorb
+  // prefix collisions, then resolve blocks and filter by the full key.
+  std::vector<std::pair<common::Key, common::Value>> raw;
+  const common::Key start_fp = VarFingerprint(start);
+  ScanInternal(client, start_fp, count + 16, &raw, /*resolve_indirect=*/false);
+
+  client.BeginOp();
+  std::vector<std::pair<std::string, std::string>> resolved;
+  resolved.reserve(raw.size());
+  for (const auto& [fp, block_ptr] : raw) {
+    std::string k;
+    std::string v;
+    if (ReadVarBlock(client, common::GlobalAddress::Unpack(block_ptr), &k, &v) &&
+        k >= std::string(start)) {
+      resolved.emplace_back(std::move(k), std::move(v));
+    }
+  }
+  client.AbortOp();
+  std::sort(resolved.begin(), resolved.end());
+  for (auto& kv : resolved) {
+    if (out->size() >= count) {
+      break;
+    }
+    out->push_back(std::move(kv));
+  }
+  return out->size();
+}
+
+}  // namespace chime

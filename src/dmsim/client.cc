@@ -1,0 +1,188 @@
+#include "src/dmsim/client.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+
+namespace dmsim {
+
+Client::Client(MemoryPool* pool, int client_id) : pool_(pool), client_id_(client_id) {}
+
+uint8_t* Client::Resolve(common::GlobalAddress addr, uint32_t len) {
+  MemoryNode& node = pool_->node_for(addr);
+  assert(addr.offset + len <= node.region_bytes());
+  (void)len;
+  return node.At(addr.offset);
+}
+
+void Client::ChargeRead(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns) {
+  nic.ChargeVerbs(verbs);
+  nic.ChargeBytesOut(bytes);
+  op_latency_ns_ += latency_ns;
+  op_rtts_ += 1;
+  op_verbs_ += verbs;
+  op_bytes_read_ += bytes;
+}
+
+void Client::ChargeWrite(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns) {
+  nic.ChargeVerbs(verbs);
+  nic.ChargeBytesIn(bytes);
+  op_latency_ns_ += latency_ns;
+  op_rtts_ += 1;
+  op_verbs_ += verbs;
+  op_bytes_written_ += bytes;
+}
+
+void Client::ChargeAtomic(NicModel& nic) {
+  nic.ChargeVerbs(1);
+  nic.ChargeBytesIn(8);
+  nic.ChargeBytesOut(8);
+  op_latency_ns_ += nic.AtomicLatencyNs();
+  op_rtts_ += 1;
+  op_verbs_ += 1;
+  op_bytes_read_ += 8;
+  op_bytes_written_ += 8;
+}
+
+void Client::Read(common::GlobalAddress addr, void* dst, uint32_t len) {
+  const uint8_t* src = Resolve(addr, len);
+  // Block-atomic copy: each 64-byte block is observed whole, but a multi-block READ
+  // concurrent with a WRITE can mix blocks from before and after the write — exactly the
+  // RDMA visibility model the index-level version protocols must handle.
+  pool_->fabric().CopyOut(src, static_cast<uint8_t*>(dst), len);
+  NicModel& nic = pool_->node_for(addr).nic();
+  ChargeRead(nic, len, 1, nic.VerbLatencyNs(len));
+}
+
+void Client::Write(common::GlobalAddress addr, const void* src, uint32_t len) {
+  uint8_t* dst = Resolve(addr, len);
+  pool_->fabric().CopyIn(dst, static_cast<const uint8_t*>(src), len);
+  NicModel& nic = pool_->node_for(addr).nic();
+  ChargeWrite(nic, len, 1, nic.VerbLatencyNs(len));
+}
+
+uint64_t Client::Cas(common::GlobalAddress addr, uint64_t compare, uint64_t swap) {
+  uint8_t* p = Resolve(addr, 8);
+  assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
+  const uint64_t old = pool_->fabric().AtomicWord(
+      p, [&](uint64_t cur) { return cur == compare ? swap : cur; });
+  ChargeAtomic(pool_->node_for(addr).nic());
+  return old;
+}
+
+uint64_t Client::MaskedCas(common::GlobalAddress addr, uint64_t compare, uint64_t swap,
+                           uint64_t compare_mask, uint64_t swap_mask) {
+  uint8_t* p = Resolve(addr, 8);
+  assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
+  const uint64_t old = pool_->fabric().AtomicWord(p, [&](uint64_t cur) {
+    if ((cur & compare_mask) == (compare & compare_mask)) {
+      return (cur & ~swap_mask) | (swap & swap_mask);
+    }
+    return cur;
+  });
+  ChargeAtomic(pool_->node_for(addr).nic());
+  return old;
+}
+
+uint64_t Client::FetchAdd(common::GlobalAddress addr, uint64_t delta) {
+  uint8_t* p = Resolve(addr, 8);
+  assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
+  const uint64_t old =
+      pool_->fabric().AtomicWord(p, [&](uint64_t cur) { return cur + delta; });
+  ChargeAtomic(pool_->node_for(addr).nic());
+  return old;
+}
+
+void Client::ReadBatch(const std::vector<BatchEntry>& entries) {
+  if (entries.empty()) {
+    return;
+  }
+  uint64_t total_bytes = 0;
+  for (const auto& e : entries) {
+    pool_->fabric().CopyOut(Resolve(e.addr, e.len), static_cast<uint8_t*>(e.local), e.len);
+    total_bytes += e.len;
+  }
+  // All batched verbs target the same MN in our layouts; charge the first entry's NIC.
+  NicModel& nic = pool_->node_for(entries[0].addr).nic();
+  ChargeRead(nic, total_bytes, entries.size(), nic.BatchLatencyNs(total_bytes));
+}
+
+void Client::WriteBatch(const std::vector<BatchEntry>& entries) {
+  if (entries.empty()) {
+    return;
+  }
+  uint64_t total_bytes = 0;
+  for (const auto& e : entries) {
+    pool_->fabric().CopyIn(Resolve(e.addr, e.len), static_cast<const uint8_t*>(e.local),
+                           e.len);
+    total_bytes += e.len;
+  }
+  NicModel& nic = pool_->node_for(entries[0].addr).nic();
+  ChargeWrite(nic, total_bytes, entries.size(), nic.BatchLatencyNs(total_bytes));
+}
+
+common::GlobalAddress Client::Alloc(size_t bytes, size_t align) {
+  if (bytes > pool_->config().chunk_bytes) {
+    // Oversized allocation (e.g. a bulk-loaded contiguous region): a dedicated RPC reserves
+    // it directly on a memory node. Sizes stay 64-byte granular, so the allocation cursor —
+    // and therefore every returned base — stays line-aligned.
+    assert(align <= 64);
+    const uint16_t node_id = pool_->NextAllocNode();
+    const uint64_t base = pool_->node(node_id).AllocateChunk((bytes + 63) & ~size_t{63});
+    assert(base != 0 && "memory node region exhausted; raise region_bytes_per_mn");
+    op_latency_ns_ += pool_->config().rpc_latency_ns;
+    return common::GlobalAddress(node_id, base);
+  }
+  size_t aligned_used = (chunk_used_ + align - 1) & ~(align - 1);
+  if (chunk_base_.is_null() || aligned_used + bytes > chunk_size_) {
+    // Allocation RPC to a memory node (two-sided; the MN CPU only bumps a cursor).
+    const uint16_t node_id = pool_->NextAllocNode();
+    const uint64_t base = pool_->node(node_id).AllocateChunk(pool_->config().chunk_bytes);
+    assert(base != 0 && "memory node region exhausted; raise region_bytes_per_mn");
+    chunk_base_ = common::GlobalAddress(node_id, base);
+    chunk_size_ = pool_->config().chunk_bytes;
+    chunk_used_ = 0;
+    aligned_used = 0;
+    op_latency_ns_ += pool_->config().rpc_latency_ns;
+  }
+  common::GlobalAddress result = chunk_base_ + aligned_used;
+  chunk_used_ = aligned_used + bytes;
+  return result;
+}
+
+void Client::BeginOp() {
+  in_op_ = true;
+  op_latency_ns_ = 0;
+  op_rtts_ = 0;
+  op_verbs_ = 0;
+  op_bytes_read_ = 0;
+  op_bytes_written_ = 0;
+  op_retries_ = 0;
+  op_cache_hits_ = 0;
+  op_cache_misses_ = 0;
+}
+
+void Client::EndOp(OpType type) {
+  assert(in_op_);
+  in_op_ = false;
+  OpTypeStats& s = stats_.For(type);
+  s.ops += 1;
+  s.rtts += op_rtts_;
+  s.verbs += op_verbs_;
+  s.bytes_read += op_bytes_read_;
+  s.bytes_written += op_bytes_written_;
+  s.retries += op_retries_;
+  s.cache_hits += op_cache_hits_;
+  s.cache_misses += op_cache_misses_;
+  if (op_rtts_ < s.min_rtts_per_op) {
+    s.min_rtts_per_op = op_rtts_;
+  }
+  if (op_rtts_ > s.max_rtts_per_op) {
+    s.max_rtts_per_op = op_rtts_;
+  }
+  s.latency_ns.Record(static_cast<uint64_t>(op_latency_ns_));
+}
+
+void Client::AbortOp() { in_op_ = false; }
+
+}  // namespace dmsim

@@ -1,0 +1,111 @@
+// A compute-node client issuing one-sided verbs against the memory pool.
+//
+// Each client is owned by exactly one worker thread. Verbs move real bytes through the shared
+// memory region (so concurrent clients race like concurrent RDMA requestors) and charge the
+// NIC cost model. Operations are bracketed with BeginOp/EndOp so per-op service demands can be
+// fed to the throughput model.
+#ifndef SRC_DMSIM_CLIENT_H_
+#define SRC_DMSIM_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dmsim/op_stats.h"
+#include "src/dmsim/pool.h"
+
+namespace dmsim {
+
+// One element of a doorbell-batched READ or WRITE.
+struct BatchEntry {
+  common::GlobalAddress addr;
+  void* local = nullptr;  // destination for reads, source for writes
+  uint32_t len = 0;
+};
+
+class Client {
+ public:
+  Client(MemoryPool* pool, int client_id);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  int client_id() const { return client_id_; }
+  MemoryPool& pool() { return *pool_; }
+
+  // ---- One-sided verbs -------------------------------------------------------------------
+
+  void Read(common::GlobalAddress addr, void* dst, uint32_t len);
+  void Write(common::GlobalAddress addr, const void* src, uint32_t len);
+
+  // Compare-and-swap on an 8-byte aligned remote word. Returns the value observed before the
+  // swap; the swap happened iff the returned value equals `compare`.
+  uint64_t Cas(common::GlobalAddress addr, uint64_t compare, uint64_t swap);
+
+  // RDMA masked compare-and-swap (ConnectX-2+): only the bits under compare_mask participate
+  // in the comparison, and only the bits under swap_mask are replaced. Returns the value
+  // observed before the swap.
+  uint64_t MaskedCas(common::GlobalAddress addr, uint64_t compare, uint64_t swap,
+                     uint64_t compare_mask, uint64_t swap_mask);
+
+  uint64_t FetchAdd(common::GlobalAddress addr, uint64_t delta);
+
+  // Doorbell-batched verbs: all entries are posted with one doorbell and complete within a
+  // single fabric round trip; every entry still consumes a work-queue element (IOPS).
+  void ReadBatch(const std::vector<BatchEntry>& entries);
+  void WriteBatch(const std::vector<BatchEntry>& entries);
+
+  // ---- Remote memory allocation ----------------------------------------------------------
+
+  // Allocates `bytes` of remote memory (aligned to `align`). Bump-allocates from the client's
+  // current 16 MB chunk; an exhausted chunk triggers one allocation RPC to a memory node.
+  common::GlobalAddress Alloc(size_t bytes, size_t align = 64);
+
+  // ---- Operation bracketing and stats ----------------------------------------------------
+
+  void BeginOp();
+  void EndOp(OpType type);
+  void AbortOp();  // discard the current bracket (e.g. op not attempted)
+
+  void CountRetry() { op_retries_++; }
+  void CountCacheHit() { op_cache_hits_++; }
+  void CountCacheMiss() { op_cache_misses_++; }
+
+  // Simulated time consumed by the verbs of the current op so far (ns).
+  double CurrentOpLatencyNs() const { return op_latency_ns_; }
+  uint64_t CurrentOpRtts() const { return op_rtts_; }
+
+  const ClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ClientStats(); }
+
+ private:
+  uint8_t* Resolve(common::GlobalAddress addr, uint32_t len);
+  void ChargeRead(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns);
+  void ChargeWrite(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns);
+  void ChargeAtomic(NicModel& nic);
+
+  MemoryPool* pool_;
+  int client_id_;
+
+  // Current chunk for bump allocation.
+  common::GlobalAddress chunk_base_ = common::GlobalAddress::Null();
+  size_t chunk_used_ = 0;
+  size_t chunk_size_ = 0;
+
+  // Current-op accumulators.
+  bool in_op_ = false;
+  double op_latency_ns_ = 0;
+  uint64_t op_rtts_ = 0;
+  uint64_t op_verbs_ = 0;
+  uint64_t op_bytes_read_ = 0;
+  uint64_t op_bytes_written_ = 0;
+  uint64_t op_retries_ = 0;
+  uint64_t op_cache_hits_ = 0;
+  uint64_t op_cache_misses_ = 0;
+
+  ClientStats stats_;
+};
+
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_CLIENT_H_

@@ -1,0 +1,76 @@
+// A memory node: one registered memory region plus its NIC model and allocation cursor.
+#ifndef SRC_DMSIM_MEMORY_NODE_H_
+#define SRC_DMSIM_MEMORY_NODE_H_
+
+#include <atomic>
+#include <cassert>
+#include <new>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/types.h"
+#include "src/dmsim/nic_model.h"
+#include "src/dmsim/sim_config.h"
+
+namespace dmsim {
+
+// The memory node exposes a flat registered region addressed by byte offset. Verbs from
+// dmsim::Client touch the region directly (the region *is* shared memory, so concurrent client
+// threads race exactly like concurrent RDMA requestors do). The MN's own CPU is only involved
+// in the chunk-allocation RPC, matching the paper's weak-CPU assumption.
+class MemoryNode {
+ public:
+  MemoryNode(uint16_t node_id, size_t region_bytes, const NicParams& nic_params)
+      : node_id_(node_id),
+        region_bytes_(region_bytes),
+        // Cache-line aligned so region offsets and host cache lines coincide: the fabric's
+        // per-line atomicity guarantee is expressed in region offsets.
+        region_(static_cast<uint8_t*>(::operator new[](region_bytes, std::align_val_t{64}))),
+        nic_(nic_params) {
+    // Offset 0 is reserved so that GlobalAddress::Null() never aliases a live object.
+    alloc_cursor_.store(64, std::memory_order_relaxed);
+  }
+
+  ~MemoryNode() { ::operator delete[](region_, std::align_val_t{64}); }
+
+  MemoryNode(const MemoryNode&) = delete;
+  MemoryNode& operator=(const MemoryNode&) = delete;
+
+  uint16_t node_id() const { return node_id_; }
+  size_t region_bytes() const { return region_bytes_; }
+  NicModel& nic() { return nic_; }
+  const NicModel& nic() const { return nic_; }
+
+  uint8_t* At(uint64_t offset) {
+    assert(offset < region_bytes_);
+    return region_ + offset;
+  }
+  const uint8_t* At(uint64_t offset) const {
+    assert(offset < region_bytes_);
+    return region_ + offset;
+  }
+
+  // MN-side chunk allocation (invoked via the client's allocation RPC). Chunks are never
+  // reclaimed, matching the log-structured chunk handling in Sherman/CHIME.
+  // Returns the chunk's base offset or 0 when the region is exhausted.
+  uint64_t AllocateChunk(size_t bytes) {
+    uint64_t base = alloc_cursor_.fetch_add(bytes, std::memory_order_relaxed);
+    if (base + bytes > region_bytes_) {
+      return 0;
+    }
+    return base;
+  }
+
+  uint64_t bytes_allocated() const { return alloc_cursor_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint16_t node_id_;
+  const size_t region_bytes_;
+  uint8_t* region_;
+  NicModel nic_;
+  std::atomic<uint64_t> alloc_cursor_;
+};
+
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_MEMORY_NODE_H_

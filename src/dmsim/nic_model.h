@@ -1,0 +1,59 @@
+// Cost model and aggregate accounting for one NIC.
+#ifndef SRC_DMSIM_NIC_MODEL_H_
+#define SRC_DMSIM_NIC_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/dmsim/sim_config.h"
+
+namespace dmsim {
+
+// Charges per-verb costs and keeps aggregate counters. All methods are thread-safe; the
+// counters are relaxed atomics since they are only read after workers quiesce.
+class NicModel {
+ public:
+  explicit NicModel(const NicParams& params) : params_(params) {}
+
+  const NicParams& params() const { return params_; }
+
+  // Latency of a one-sided READ/WRITE of `bytes` payload.
+  double VerbLatencyNs(uint64_t bytes) const {
+    return params_.base_rtt_ns +
+           static_cast<double>(bytes) * 1e9 / params_.bandwidth_bytes_per_sec;
+  }
+
+  double AtomicLatencyNs() const { return VerbLatencyNs(8) + params_.atomic_extra_ns; }
+
+  // Latency of a doorbell batch: one fabric round trip carrying all payloads; every element
+  // still consumes a work-queue entry (IOPS).
+  double BatchLatencyNs(uint64_t total_bytes) const { return VerbLatencyNs(total_bytes); }
+
+  void ChargeVerbs(uint64_t verbs) { verbs_.fetch_add(verbs, std::memory_order_relaxed); }
+  void ChargeBytesOut(uint64_t bytes) {
+    bytes_out_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void ChargeBytesIn(uint64_t bytes) { bytes_in_.fetch_add(bytes, std::memory_order_relaxed); }
+
+  uint64_t total_verbs() const { return verbs_.load(std::memory_order_relaxed); }
+  // Bytes this NIC sent towards compute nodes (READ responses).
+  uint64_t total_bytes_out() const { return bytes_out_.load(std::memory_order_relaxed); }
+  // Bytes this NIC received from compute nodes (WRITE payloads).
+  uint64_t total_bytes_in() const { return bytes_in_.load(std::memory_order_relaxed); }
+
+  void ResetCounters() {
+    verbs_.store(0, std::memory_order_relaxed);
+    bytes_out_.store(0, std::memory_order_relaxed);
+    bytes_in_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  NicParams params_;
+  std::atomic<uint64_t> verbs_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+};
+
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_NIC_MODEL_H_

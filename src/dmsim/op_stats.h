@@ -1,0 +1,90 @@
+// Per-operation service-demand accounting.
+//
+// Every index operation (search/insert/...) runs inside an OpScope; the verbs it issues record
+// round trips, verbs, and bytes. The aggregate per-op demands feed the closed-system throughput
+// model (src/dmsim/throughput_model.h).
+#ifndef SRC_DMSIM_OP_STATS_H_
+#define SRC_DMSIM_OP_STATS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/histogram.h"
+
+namespace dmsim {
+
+enum class OpType : int {
+  kSearch = 0,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kScan,
+  kOther,
+};
+inline constexpr int kNumOpTypes = 6;
+
+// Aggregates for one op type on one client. Merge per-client copies after the run.
+struct OpTypeStats {
+  uint64_t ops = 0;
+  uint64_t rtts = 0;
+  uint64_t verbs = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t retries = 0;       // read-validation or lock-fail retries
+  uint64_t cache_hits = 0;    // index-cache traversal shortcuts
+  uint64_t cache_misses = 0;  // remote internal-node reads
+  uint64_t min_rtts_per_op = UINT64_MAX;
+  uint64_t max_rtts_per_op = 0;
+  common::Histogram latency_ns;
+
+  void Merge(const OpTypeStats& other) {
+    ops += other.ops;
+    rtts += other.rtts;
+    verbs += other.verbs;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    retries += other.retries;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    if (other.ops > 0) {
+      min_rtts_per_op = min_rtts_per_op < other.min_rtts_per_op ? min_rtts_per_op
+                                                                : other.min_rtts_per_op;
+      max_rtts_per_op = max_rtts_per_op > other.max_rtts_per_op ? max_rtts_per_op
+                                                                : other.max_rtts_per_op;
+    }
+    latency_ns.Merge(other.latency_ns);
+  }
+
+  double AvgRtts() const { return ops == 0 ? 0 : static_cast<double>(rtts) / ops; }
+  double AvgVerbs() const { return ops == 0 ? 0 : static_cast<double>(verbs) / ops; }
+  double AvgBytesRead() const { return ops == 0 ? 0 : static_cast<double>(bytes_read) / ops; }
+  double AvgBytesWritten() const {
+    return ops == 0 ? 0 : static_cast<double>(bytes_written) / ops;
+  }
+};
+
+struct ClientStats {
+  std::array<OpTypeStats, kNumOpTypes> per_op;
+
+  OpTypeStats& For(OpType t) { return per_op[static_cast<int>(t)]; }
+  const OpTypeStats& For(OpType t) const { return per_op[static_cast<int>(t)]; }
+
+  void Merge(const ClientStats& other) {
+    for (int i = 0; i < kNumOpTypes; ++i) {
+      per_op[i].Merge(other.per_op[i]);
+    }
+  }
+
+  // Demand across all op types combined (used when a workload mixes op types).
+  OpTypeStats Combined() const {
+    OpTypeStats all;
+    for (const auto& s : per_op) {
+      all.Merge(s);
+    }
+    return all;
+  }
+};
+
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_OP_STATS_H_

@@ -1,0 +1,77 @@
+// The memory pool: the set of memory nodes clients connect to.
+#ifndef SRC_DMSIM_POOL_H_
+#define SRC_DMSIM_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dmsim/fabric.h"
+#include "src/dmsim/memory_node.h"
+#include "src/dmsim/sim_config.h"
+
+namespace dmsim {
+
+class MemoryPool {
+ public:
+  explicit MemoryPool(const SimConfig& config) : config_(config) {
+    nodes_.reserve(static_cast<size_t>(config.num_memory_nodes));
+    for (int i = 0; i < config.num_memory_nodes; ++i) {
+      // Node ids start at 1 so that GlobalAddress::Null() (node 0) is never valid.
+      nodes_.push_back(std::make_unique<MemoryNode>(static_cast<uint16_t>(i + 1),
+                                                    config.region_bytes_per_mn,
+                                                    config.mn_nic));
+    }
+  }
+
+  const SimConfig& config() const { return config_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Fabric& fabric() { return fabric_; }
+
+  MemoryNode& node(uint16_t node_id) {
+    assert(node_id >= 1 && node_id <= nodes_.size());
+    return *nodes_[node_id - 1];
+  }
+
+  MemoryNode& node_for(const common::GlobalAddress& addr) { return node(addr.node_id); }
+
+  // Chunks are spread round-robin across memory nodes, as DM allocators do to balance load.
+  uint16_t NextAllocNode() {
+    return static_cast<uint16_t>(
+        1 + next_alloc_node_.fetch_add(1, std::memory_order_relaxed) % nodes_.size());
+  }
+
+  // Aggregate NIC counters across all memory nodes.
+  uint64_t TotalMnBytesOut() const {
+    uint64_t total = 0;
+    for (const auto& n : nodes_) {
+      total += n->nic().total_bytes_out();
+    }
+    return total;
+  }
+  uint64_t TotalMnVerbs() const {
+    uint64_t total = 0;
+    for (const auto& n : nodes_) {
+      total += n->nic().total_verbs();
+    }
+    return total;
+  }
+
+  void ResetNicCounters() {
+    for (auto& n : nodes_) {
+      n->nic().ResetCounters();
+    }
+  }
+
+ private:
+  SimConfig config_;
+  std::vector<std::unique_ptr<MemoryNode>> nodes_;
+  std::atomic<uint64_t> next_alloc_node_{0};
+  Fabric fabric_;
+};
+
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_POOL_H_

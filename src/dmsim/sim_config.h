@@ -1,0 +1,43 @@
+// Configuration of the simulated disaggregated-memory testbed.
+//
+// The paper's testbed is 10 CNs + 1 MN, each with a 100 Gbps Mellanox ConnectX-6 NIC. We model
+// each NIC with three parameters: a base one-sided verb latency, a serialization bandwidth, and
+// an IOPS ceiling. These are the only properties the paper's performance arguments rely on
+// (KV-contiguous indexes saturate bandwidth, KV-discrete indexes saturate IOPS).
+#ifndef SRC_DMSIM_SIM_CONFIG_H_
+#define SRC_DMSIM_SIM_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dmsim {
+
+struct NicParams {
+  // Base latency of a small one-sided verb, one way through the fabric and back (ns).
+  double base_rtt_ns = 2000.0;
+  // Serialization bandwidth in bytes per second. 100 Gbps ~ 12.5 GB/s.
+  double bandwidth_bytes_per_sec = 12.5e9;
+  // Verb (work-queue-element) rate ceiling of the NIC, ops per second. ConnectX-6-class NICs
+  // sustain on the order of 100 M small READs per second across queue pairs; 90 M places the
+  // IOPS/bandwidth crossover where the paper observes it (~8-entry neighborhoods become
+  // bandwidth-bound, single-entry reads stay IOPS-bound).
+  double iops = 90e6;
+  // Extra latency of an atomic verb (CAS / masked-CAS / FAA) over a plain READ (ns). Atomics
+  // serialize in the NIC's PCIe pipeline.
+  double atomic_extra_ns = 500.0;
+};
+
+struct SimConfig {
+  int num_memory_nodes = 1;
+  size_t region_bytes_per_mn = 512ULL << 20;
+  NicParams mn_nic;
+  NicParams cn_nic;
+  // Latency of a (rare) two-sided RPC to a memory node, e.g. for chunk allocation (ns).
+  double rpc_latency_ns = 10000.0;
+  // Size of a memory chunk handed to a client per allocation RPC (paper §4.2.2 uses 16 MB).
+  size_t chunk_bytes = 16ULL << 20;
+};
+
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_SIM_CONFIG_H_

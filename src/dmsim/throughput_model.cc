@@ -1,0 +1,68 @@
+#include "src/dmsim/throughput_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dmsim {
+
+ModelResult ThroughputModel::Evaluate(const OpTypeStats& demand, int n_clients) const {
+  ModelResult result;
+  if (demand.ops == 0) {
+    return result;
+  }
+
+  const double r_ns = demand.latency_ns.Mean();
+  const double bytes_read = demand.AvgBytesRead();
+  const double bytes_written = demand.AvgBytesWritten();
+  const double verbs = demand.AvgVerbs();
+  const double mns = static_cast<double>(config_.num_memory_nodes);
+  const double cns = static_cast<double>(num_cns_);
+
+  struct Bound {
+    double ops_per_sec;
+    const char* name;
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  const Bound bounds[] = {
+      {r_ns > 0 ? static_cast<double>(n_clients) * 1e9 / r_ns : inf, "latency"},
+      {bytes_read > 0 ? mns * config_.mn_nic.bandwidth_bytes_per_sec / bytes_read : inf,
+       "mn-bandwidth-out"},
+      {bytes_written > 0 ? mns * config_.mn_nic.bandwidth_bytes_per_sec / bytes_written : inf,
+       "mn-bandwidth-in"},
+      {verbs > 0 ? mns * config_.mn_nic.iops / verbs : inf, "mn-iops"},
+      {bytes_read > 0 ? cns * config_.cn_nic.bandwidth_bytes_per_sec / bytes_read : inf,
+       "cn-bandwidth"},
+  };
+
+  double x = inf;
+  const char* binding = "latency";
+  for (const Bound& b : bounds) {
+    if (b.ops_per_sec < x) {
+      x = b.ops_per_sec;
+      binding = b.name;
+    }
+  }
+
+  // Loaded response time from the interactive response-time law; under the latency bound this
+  // equals the unloaded R exactly, so the inflation factor is 1 there.
+  const double loaded_r_ns = static_cast<double>(n_clients) * 1e9 / x;
+  const double inflation = r_ns > 0 ? std::max(1.0, loaded_r_ns / r_ns) : 1.0;
+
+  result.throughput_mops = x / 1e6;
+  result.avg_us = loaded_r_ns / 1e3;
+  result.p50_us = demand.latency_ns.Percentile(50) * inflation / 1e3;
+  result.p99_us = demand.latency_ns.Percentile(99) * inflation / 1e3;
+  result.bottleneck = binding;
+
+  // Utilization of the binding resource relative to the tightest capacity bound.
+  double capacity = inf;
+  for (const Bound& b : bounds) {
+    if (b.name != std::string("latency")) {
+      capacity = std::min(capacity, b.ops_per_sec);
+    }
+  }
+  result.utilization = capacity == inf ? 0.0 : x / capacity;
+  return result;
+}
+
+}  // namespace dmsim

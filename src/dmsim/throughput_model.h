@@ -1,0 +1,51 @@
+// Closed-system throughput/latency model.
+//
+// The paper's testbed runs N closed-loop clients (10 CNs x 64 cores). We execute the index
+// logic with a handful of real threads to measure the *service demand* of one operation (its
+// unloaded latency R, the bytes it moves, the verbs it issues) and then apply operational laws
+// to obtain throughput and latency for any N:
+//
+//   X(N) = min( N / R,                       -- latency bound (no resource saturated)
+//               MNs * bw_out / bytes_read,   -- memory-side egress bandwidth bound
+//               MNs * bw_in / bytes_written, -- memory-side ingress bandwidth bound
+//               MNs * iops / verbs,          -- memory-side NIC IOPS bound
+//               CNs * cn-side caps )         -- compute-side NIC bounds
+//   R(N) = N / X(N)                          -- interactive response-time law
+//
+// Per-op demand already includes retries, lock waits, extra RTTs from cache misses etc.,
+// because those show up as extra verbs in the measured bracket.
+#ifndef SRC_DMSIM_THROUGHPUT_MODEL_H_
+#define SRC_DMSIM_THROUGHPUT_MODEL_H_
+
+#include <string>
+
+#include "src/dmsim/op_stats.h"
+#include "src/dmsim/sim_config.h"
+
+namespace dmsim {
+
+struct ModelResult {
+  double throughput_mops = 0;  // million operations per second
+  double avg_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double utilization = 0;         // of the binding resource
+  std::string bottleneck;         // which bound was binding
+};
+
+class ThroughputModel {
+ public:
+  ThroughputModel(const SimConfig& config, int num_cns) : config_(config), num_cns_(num_cns) {}
+
+  // `demand` is the merged per-op stats of a measurement run; `n_clients` the number of
+  // logical closed-loop clients to model.
+  ModelResult Evaluate(const OpTypeStats& demand, int n_clients) const;
+
+ private:
+  SimConfig config_;
+  int num_cns_;
+};
+
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_THROUGHPUT_MODEL_H_

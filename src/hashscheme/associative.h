@@ -1,0 +1,91 @@
+// Associative-bucket (closed-addressing) hashing: each key hashes to one bucket of B entries.
+// This is the collision handling used by most DM hash tables (paper §3.1.2). A point query
+// fetches the whole bucket, so the amplification factor equals the bucket size.
+#ifndef SRC_HASHSCHEME_ASSOCIATIVE_H_
+#define SRC_HASHSCHEME_ASSOCIATIVE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/hashscheme/scheme.h"
+
+namespace hashscheme {
+
+class AssociativeTable : public Scheme {
+ public:
+  AssociativeTable(size_t capacity, int bucket_size)
+      : bucket_size_(bucket_size),
+        num_buckets_(capacity / static_cast<size_t>(bucket_size)),
+        entries_(num_buckets_ * static_cast<size_t>(bucket_size)) {}
+
+  bool Insert(uint64_t key, uint64_t value) override {
+    const size_t base = Bucket(key) * static_cast<size_t>(bucket_size_);
+    for (int i = 0; i < bucket_size_; ++i) {
+      Entry& e = entries_[base + static_cast<size_t>(i)];
+      if (e.used && e.key == key) {
+        e.value = value;
+        return true;
+      }
+    }
+    for (int i = 0; i < bucket_size_; ++i) {
+      Entry& e = entries_[base + static_cast<size_t>(i)];
+      if (!e.used) {
+        e = {true, key, value};
+        size_++;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<uint64_t> Search(uint64_t key) const override {
+    const size_t base = Bucket(key) * static_cast<size_t>(bucket_size_);
+    for (int i = 0; i < bucket_size_; ++i) {
+      const Entry& e = entries_[base + static_cast<size_t>(i)];
+      if (e.used && e.key == key) {
+        return e.value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool Remove(uint64_t key) override {
+    const size_t base = Bucket(key) * static_cast<size_t>(bucket_size_);
+    for (int i = 0; i < bucket_size_; ++i) {
+      Entry& e = entries_[base + static_cast<size_t>(i)];
+      if (e.used && e.key == key) {
+        e.used = false;
+        size_--;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t capacity() const override { return entries_.size(); }
+  size_t size() const override { return size_; }
+  double AmplificationFactor() const override { return bucket_size_; }
+  std::string name() const override {
+    return "associative(B=" + std::to_string(bucket_size_) + ")";
+  }
+
+ private:
+  struct Entry {
+    bool used = false;
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  size_t Bucket(uint64_t key) const { return common::Mix64(key) % num_buckets_; }
+
+  int bucket_size_;
+  size_t num_buckets_;
+  size_t size_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hashscheme
+
+#endif  // SRC_HASHSCHEME_ASSOCIATIVE_H_

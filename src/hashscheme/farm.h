@@ -1,0 +1,165 @@
+// FaRM-style chained associative hopscotch hashing (Dragojevic et al., NSDI'14) with the
+// overflow chain disabled, exactly as the paper configures it for the Fig 3d comparison.
+// The neighborhood is fixed to two associative buckets; a key may live in any entry of its
+// home bucket or the next bucket, and bucket-granular hops free up space. A point query
+// fetches both buckets, so the amplification factor is 2x the bucket size.
+#ifndef SRC_HASHSCHEME_FARM_H_
+#define SRC_HASHSCHEME_FARM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/hashscheme/scheme.h"
+
+namespace hashscheme {
+
+class FarmTable : public Scheme {
+ public:
+  FarmTable(size_t capacity, int bucket_size)
+      : bucket_size_(bucket_size),
+        num_buckets_(capacity / static_cast<size_t>(bucket_size)),
+        entries_(num_buckets_ * static_cast<size_t>(bucket_size)) {}
+
+  bool Insert(uint64_t key, uint64_t value) override {
+    const size_t home = Bucket(key);
+    for (size_t b : {home, Next(home)}) {
+      if (UpdateInBucket(b, key, value)) {
+        return true;
+      }
+    }
+    if (TryPlace(home, key, value)) {
+      size_++;
+      return true;
+    }
+    // Hopscotch at bucket granularity: find an empty slot by probing forward, then move keys
+    // whose two-bucket neighborhood still covers the freed position.
+    size_t empty_bucket = home;
+    size_t probed = 0;
+    while (FindFree(empty_bucket) < 0) {
+      empty_bucket = Next(empty_bucket);
+      if (++probed == num_buckets_) {
+        return false;
+      }
+    }
+    while (Distance(home, empty_bucket) >= 2) {
+      // The only movable candidates are keys in the previous bucket homed at that bucket.
+      const size_t prev = (empty_bucket + num_buckets_ - 1) % num_buckets_;
+      bool moved = false;
+      const size_t base = prev * static_cast<size_t>(bucket_size_);
+      for (int i = 0; i < bucket_size_; ++i) {
+        Entry& e = entries_[base + static_cast<size_t>(i)];
+        if (e.used && Bucket(e.key) == prev) {
+          // Its neighborhood is {prev, prev+1}; prev+1 == empty_bucket, so it can move there.
+          const int free_slot = FindFree(empty_bucket);
+          Entry& dst =
+              entries_[empty_bucket * static_cast<size_t>(bucket_size_) + free_slot];
+          dst = e;
+          e.used = false;
+          empty_bucket = prev;
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) {
+        return false;  // chain disabled: no overflow block to fall back to
+      }
+    }
+    if (TryPlace(home, key, value)) {
+      size_++;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<uint64_t> Search(uint64_t key) const override {
+    const size_t home = Bucket(key);
+    for (size_t b : {home, Next(home)}) {
+      const size_t base = b * static_cast<size_t>(bucket_size_);
+      for (int i = 0; i < bucket_size_; ++i) {
+        const Entry& e = entries_[base + static_cast<size_t>(i)];
+        if (e.used && e.key == key) {
+          return e.value;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool Remove(uint64_t key) override {
+    const size_t home = Bucket(key);
+    for (size_t b : {home, Next(home)}) {
+      const size_t base = b * static_cast<size_t>(bucket_size_);
+      for (int i = 0; i < bucket_size_; ++i) {
+        Entry& e = entries_[base + static_cast<size_t>(i)];
+        if (e.used && e.key == key) {
+          e.used = false;
+          size_--;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  size_t capacity() const override { return entries_.size(); }
+  size_t size() const override { return size_; }
+  double AmplificationFactor() const override { return 2.0 * bucket_size_; }
+  std::string name() const override { return "farm(B=" + std::to_string(bucket_size_) + ")"; }
+
+ private:
+  struct Entry {
+    bool used = false;
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  size_t Bucket(uint64_t key) const { return common::Mix64(key) % num_buckets_; }
+  size_t Next(size_t b) const { return (b + 1) % num_buckets_; }
+  size_t Distance(size_t home, size_t b) const {
+    return (b + num_buckets_ - home) % num_buckets_;
+  }
+
+  int FindFree(size_t bucket) const {
+    const size_t base = bucket * static_cast<size_t>(bucket_size_);
+    for (int i = 0; i < bucket_size_; ++i) {
+      if (!entries_[base + static_cast<size_t>(i)].used) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  bool UpdateInBucket(size_t bucket, uint64_t key, uint64_t value) {
+    const size_t base = bucket * static_cast<size_t>(bucket_size_);
+    for (int i = 0; i < bucket_size_; ++i) {
+      Entry& e = entries_[base + static_cast<size_t>(i)];
+      if (e.used && e.key == key) {
+        e.value = value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool TryPlace(size_t home, uint64_t key, uint64_t value) {
+    for (size_t b : {home, Next(home)}) {
+      const int slot = FindFree(b);
+      if (slot >= 0) {
+        entries_[b * static_cast<size_t>(bucket_size_) + slot] = {true, key, value};
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int bucket_size_;
+  size_t num_buckets_;
+  size_t size_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hashscheme
+
+#endif  // SRC_HASHSCHEME_FARM_H_

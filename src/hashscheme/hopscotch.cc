@@ -1,0 +1,153 @@
+#include "src/hashscheme/hopscotch.h"
+
+#include <cassert>
+
+#include "src/common/bitops.h"
+#include "src/common/hash.h"
+
+namespace hashscheme {
+
+HopscotchTable::HopscotchTable(size_t capacity, int h) : h_(h), entries_(capacity) {
+  assert(h >= 1 && h <= 32);
+  assert(capacity >= static_cast<size_t>(h));
+}
+
+std::string HopscotchTable::name() const {
+  return "hopscotch(H=" + std::to_string(h_) + ")";
+}
+
+size_t HopscotchTable::HomeOf(uint64_t key) const {
+  return common::Mix64(key) % entries_.size();
+}
+
+std::optional<uint64_t> HopscotchTable::Search(uint64_t key) const {
+  const size_t home = HomeOf(key);
+  uint32_t bitmap = entries_[home].bitmap;
+  while (bitmap != 0) {
+    const int i = common::LowestSetBit(bitmap);
+    bitmap &= bitmap - 1;
+    const Entry& e = entries_[Advance(home, static_cast<size_t>(i))];
+    if (e.used && e.key == key) {
+      return e.value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool HopscotchTable::Insert(uint64_t key, uint64_t value) {
+  const size_t home = HomeOf(key);
+
+  // Update in place if present.
+  uint32_t bitmap = entries_[home].bitmap;
+  while (bitmap != 0) {
+    const int i = common::LowestSetBit(bitmap);
+    bitmap &= bitmap - 1;
+    Entry& e = entries_[Advance(home, static_cast<size_t>(i))];
+    if (e.used && e.key == key) {
+      e.value = value;
+      return true;
+    }
+  }
+
+  // Linear probe for the first empty entry.
+  size_t empty = home;
+  size_t probed = 0;
+  while (entries_[empty].used) {
+    empty = Advance(empty, 1);
+    if (++probed == entries_.size()) {
+      return false;  // completely full
+    }
+  }
+
+  // Hop the empty slot backwards until it lands inside the neighborhood of `home`.
+  while (Distance(home, empty) >= static_cast<size_t>(h_)) {
+    // Candidates are the H-1 entries preceding `empty`; prefer the farthest (paper §2.3).
+    bool moved = false;
+    for (int back = h_ - 1; back >= 1; --back) {
+      const size_t cand = Advance(empty, entries_.size() - static_cast<size_t>(back));
+      const Entry& ce = entries_[cand];
+      if (!ce.used) {
+        continue;  // only occupied entries can hop (an unused one would be the empty slot)
+      }
+      const size_t cand_home = HomeOf(ce.key);
+      if (Distance(cand_home, empty) < static_cast<size_t>(h_)) {
+        // Move the candidate into the empty slot; retarget its bitmap bit.
+        Entry& home_entry = entries_[cand_home];
+        home_entry.bitmap = static_cast<uint32_t>(
+            common::ClearBit(home_entry.bitmap, static_cast<int>(Distance(cand_home, cand))));
+        home_entry.bitmap = static_cast<uint32_t>(
+            common::SetBit(home_entry.bitmap, static_cast<int>(Distance(cand_home, empty))));
+        entries_[empty].used = true;
+        entries_[empty].key = ce.key;
+        entries_[empty].value = ce.value;
+        entries_[cand].used = false;
+        empty = cand;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) {
+      return false;  // no feasible hop: the caller must resize (or, in CHIME, split the leaf)
+    }
+  }
+
+  entries_[empty].used = true;
+  entries_[empty].key = key;
+  entries_[empty].value = value;
+  entries_[home].bitmap = static_cast<uint32_t>(
+      common::SetBit(entries_[home].bitmap, static_cast<int>(Distance(home, empty))));
+  size_++;
+  return true;
+}
+
+bool HopscotchTable::Remove(uint64_t key) {
+  const size_t home = HomeOf(key);
+  uint32_t bitmap = entries_[home].bitmap;
+  while (bitmap != 0) {
+    const int i = common::LowestSetBit(bitmap);
+    bitmap &= bitmap - 1;
+    const size_t idx = Advance(home, static_cast<size_t>(i));
+    Entry& e = entries_[idx];
+    if (e.used && e.key == key) {
+      e.used = false;
+      entries_[home].bitmap =
+          static_cast<uint32_t>(common::ClearBit(entries_[home].bitmap, i));
+      size_--;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HopscotchTable::CheckInvariants(std::string* why) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.used) {
+      const size_t home = HomeOf(e.key);
+      const size_t dist = Distance(home, i);
+      if (dist >= static_cast<size_t>(h_)) {
+        *why = "key at " + std::to_string(i) + " outside neighborhood of home " +
+               std::to_string(home);
+        return false;
+      }
+      if (!common::TestBit(entries_[home].bitmap, static_cast<int>(dist))) {
+        *why = "bitmap bit missing for key at " + std::to_string(i);
+        return false;
+      }
+    }
+    // Every set bitmap bit must point at an occupied entry homed here.
+    uint32_t bitmap = e.bitmap;
+    while (bitmap != 0) {
+      const int b = common::LowestSetBit(bitmap);
+      bitmap &= bitmap - 1;
+      const Entry& t = entries_[Advance(i, static_cast<size_t>(b))];
+      if (!t.used || HomeOf(t.key) != i) {
+        *why = "stale bitmap bit " + std::to_string(b) + " at entry " + std::to_string(i);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hashscheme

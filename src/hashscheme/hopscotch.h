@@ -1,0 +1,63 @@
+// Hopscotch hashing (Herlihy, Shavit, Tzafrir, DISC'08).
+//
+// Every key lives within a neighborhood of H consecutive entries starting at its home entry;
+// an H-bit bitmap per entry tracks which neighborhood slots hold keys homed there. Inserts
+// linear-probe for an empty slot and hop it backwards into the neighborhood. This is the exact
+// algorithm CHIME embeds into its leaf nodes; the standalone table is used by the Fig 3d bench
+// and as an executable reference for the leaf-node tests.
+#ifndef SRC_HASHSCHEME_HOPSCOTCH_H_
+#define SRC_HASHSCHEME_HOPSCOTCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/hashscheme/scheme.h"
+
+namespace hashscheme {
+
+class HopscotchTable : public Scheme {
+ public:
+  // `capacity` entries, neighborhoods of `h` (h <= 32). The table wraps around.
+  HopscotchTable(size_t capacity, int h);
+
+  bool Insert(uint64_t key, uint64_t value) override;
+  std::optional<uint64_t> Search(uint64_t key) const override;
+  bool Remove(uint64_t key) override;
+
+  size_t capacity() const override { return entries_.size(); }
+  size_t size() const override { return size_; }
+  double AmplificationFactor() const override { return h_; }
+  std::string name() const override;
+
+  int neighborhood() const { return h_; }
+  size_t HomeOf(uint64_t key) const;
+  uint32_t BitmapAt(size_t index) const { return entries_[index].bitmap; }
+  bool OccupiedAt(size_t index) const { return entries_[index].used; }
+  uint64_t KeyAt(size_t index) const { return entries_[index].key; }
+
+  // Verifies the structural invariants (each key within H of its home; bitmaps consistent).
+  // Returns false and leaves *why set on violation; for tests.
+  bool CheckInvariants(std::string* why) const;
+
+ private:
+  struct Entry {
+    bool used = false;
+    uint64_t key = 0;
+    uint64_t value = 0;
+    uint32_t bitmap = 0;  // bit i: entry (index + i) holds a key homed here
+  };
+
+  size_t Distance(size_t home, size_t index) const {
+    return (index + entries_.size() - home) % entries_.size();
+  }
+  size_t Advance(size_t index, size_t delta) const { return (index + delta) % entries_.size(); }
+
+  int h_;
+  size_t size_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hashscheme
+
+#endif  // SRC_HASHSCHEME_HOPSCOTCH_H_

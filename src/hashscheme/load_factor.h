@@ -1,0 +1,33 @@
+// Maximum-load-factor measurement for the Fig 3d study.
+#ifndef SRC_HASHSCHEME_LOAD_FACTOR_H_
+#define SRC_HASHSCHEME_LOAD_FACTOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rand.h"
+#include "src/hashscheme/scheme.h"
+
+namespace hashscheme {
+
+// Inserts distinct random keys into fresh tables until the first insertion failure and
+// returns the average load factor at failure over `trials` runs (paper §3.1.2 defines the
+// maximum load factor as the ratio of stored items to entries at that point).
+inline double MeasureMaxLoadFactor(const std::function<std::unique_ptr<Scheme>()>& make,
+                                   int trials = 32, uint64_t seed = 1) {
+  common::Rng rng(seed);
+  double total = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto table = make();
+    uint64_t key = rng.Next();
+    while (table->Insert(key, key)) {
+      key = rng.Next();
+    }
+    total += table->LoadFactor();
+  }
+  return total / trials;
+}
+
+}  // namespace hashscheme
+
+#endif  // SRC_HASHSCHEME_LOAD_FACTOR_H_

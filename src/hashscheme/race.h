@@ -1,0 +1,145 @@
+// RACE-style hashing (Zuo et al., ATC'21): associative buckets + two hash choices +
+// overflow colocation. Buckets are laid out in groups of three — (main, shared-overflow,
+// main) — and each key hashes to two main buckets, each able to spill into the adjacent
+// shared overflow bucket. A point query must fetch the main+overflow pair for both choices,
+// so the amplification factor is 4x the bucket size (paper §3.1.2).
+#ifndef SRC_HASHSCHEME_RACE_H_
+#define SRC_HASHSCHEME_RACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/hashscheme/scheme.h"
+
+namespace hashscheme {
+
+class RaceTable : public Scheme {
+ public:
+  RaceTable(size_t capacity, int bucket_size)
+      : bucket_size_(bucket_size),
+        // Groups of 3 buckets: main0, overflow, main1.
+        num_groups_(capacity / (3 * static_cast<size_t>(bucket_size))),
+        entries_(num_groups_ * 3 * static_cast<size_t>(bucket_size)) {}
+
+  bool Insert(uint64_t key, uint64_t value) override {
+    size_t buckets[4];
+    CandidateBuckets(key, buckets);
+    for (size_t b : buckets) {
+      if (UpdateInBucket(b, key, value)) {
+        return true;
+      }
+    }
+    // Balance the two choices: insert into the less-loaded main bucket first, then overflows.
+    const int load0 = BucketLoad(buckets[0]);
+    const int load1 = BucketLoad(buckets[2]);
+    const size_t order[4] = {load0 <= load1 ? buckets[0] : buckets[2],
+                             load0 <= load1 ? buckets[2] : buckets[0], buckets[1], buckets[3]};
+    for (size_t b : order) {
+      if (InsertInBucket(b, key, value)) {
+        size_++;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<uint64_t> Search(uint64_t key) const override {
+    size_t buckets[4];
+    CandidateBuckets(key, buckets);
+    for (size_t b : buckets) {
+      const size_t base = b * static_cast<size_t>(bucket_size_);
+      for (int i = 0; i < bucket_size_; ++i) {
+        const Entry& e = entries_[base + static_cast<size_t>(i)];
+        if (e.used && e.key == key) {
+          return e.value;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool Remove(uint64_t key) override {
+    size_t buckets[4];
+    CandidateBuckets(key, buckets);
+    for (size_t b : buckets) {
+      const size_t base = b * static_cast<size_t>(bucket_size_);
+      for (int i = 0; i < bucket_size_; ++i) {
+        Entry& e = entries_[base + static_cast<size_t>(i)];
+        if (e.used && e.key == key) {
+          e.used = false;
+          size_--;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  size_t capacity() const override { return entries_.size(); }
+  size_t size() const override { return size_; }
+  double AmplificationFactor() const override { return 4.0 * bucket_size_; }
+  std::string name() const override { return "race(B=" + std::to_string(bucket_size_) + ")"; }
+
+ private:
+  struct Entry {
+    bool used = false;
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  // The four candidate buckets: {main, overflow} for each of the two hash choices.
+  void CandidateBuckets(uint64_t key, size_t out[4]) const {
+    const size_t g0 = common::Mix64(key) % num_groups_;
+    const size_t g1 = common::Mix64Alt(key) % num_groups_;
+    const bool side0 = common::Mix64(key) & 0x100;
+    const bool side1 = common::Mix64Alt(key) & 0x100;
+    out[0] = g0 * 3 + (side0 ? 2 : 0);  // main bucket of choice 0
+    out[1] = g0 * 3 + 1;                // shared overflow of group 0
+    out[2] = g1 * 3 + (side1 ? 2 : 0);  // main bucket of choice 1
+    out[3] = g1 * 3 + 1;                // shared overflow of group 1
+  }
+
+  int BucketLoad(size_t bucket) const {
+    const size_t base = bucket * static_cast<size_t>(bucket_size_);
+    int load = 0;
+    for (int i = 0; i < bucket_size_; ++i) {
+      load += entries_[base + static_cast<size_t>(i)].used ? 1 : 0;
+    }
+    return load;
+  }
+
+  bool UpdateInBucket(size_t bucket, uint64_t key, uint64_t value) {
+    const size_t base = bucket * static_cast<size_t>(bucket_size_);
+    for (int i = 0; i < bucket_size_; ++i) {
+      Entry& e = entries_[base + static_cast<size_t>(i)];
+      if (e.used && e.key == key) {
+        e.value = value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool InsertInBucket(size_t bucket, uint64_t key, uint64_t value) {
+    const size_t base = bucket * static_cast<size_t>(bucket_size_);
+    for (int i = 0; i < bucket_size_; ++i) {
+      Entry& e = entries_[base + static_cast<size_t>(i)];
+      if (!e.used) {
+        e = {true, key, value};
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int bucket_size_;
+  size_t num_groups_;
+  size_t size_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hashscheme
+
+#endif  // SRC_HASHSCHEME_RACE_H_

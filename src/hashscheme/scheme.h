@@ -1,0 +1,40 @@
+// Common interface for the hash-collision-resolution schemes compared in paper Figure 3d.
+//
+// These are plain in-memory tables: the figure studies an intrinsic property (maximum load
+// factor vs read-amplification factor), which is independent of where the table lives.
+#ifndef SRC_HASHSCHEME_SCHEME_H_
+#define SRC_HASHSCHEME_SCHEME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hashscheme {
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  // Returns false when the scheme cannot place the key (the table would need a resize).
+  virtual bool Insert(uint64_t key, uint64_t value) = 0;
+  virtual std::optional<uint64_t> Search(uint64_t key) const = 0;
+  virtual bool Remove(uint64_t key) = 0;
+
+  // Total entry slots in the table.
+  virtual size_t capacity() const = 0;
+  virtual size_t size() const = 0;
+
+  // Theoretical ratio of bytes fetched from the server to bytes returned to the application
+  // for a point query (paper §3.1.2).
+  virtual double AmplificationFactor() const = 0;
+
+  virtual std::string name() const = 0;
+
+  double LoadFactor() const {
+    return capacity() == 0 ? 0.0 : static_cast<double>(size()) / static_cast<double>(capacity());
+  }
+};
+
+}  // namespace hashscheme
+
+#endif  // SRC_HASHSCHEME_SCHEME_H_

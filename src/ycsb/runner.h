@@ -1,0 +1,49 @@
+// Drives a RangeIndex with a YCSB workload on worker threads and reports the measured per-op
+// service demand plus modeled throughput/latency for any logical client count.
+#ifndef SRC_YCSB_RUNNER_H_
+#define SRC_YCSB_RUNNER_H_
+
+#include <cstdint>
+
+#include "src/baselines/range_index.h"
+#include "src/dmsim/op_stats.h"
+#include "src/dmsim/pool.h"
+#include "src/dmsim/throughput_model.h"
+#include "src/ycsb/workload.h"
+
+namespace ycsb {
+
+struct RunnerOptions {
+  uint64_t num_items = 200000;   // keys loaded before the measured phase
+  uint64_t num_ops = 200000;     // measured operations
+  int threads = 4;               // real worker threads executing the logic
+  int num_cns = 10;              // modeled compute nodes (paper testbed: 10)
+  uint64_t seed = 1;
+  // Read-delegation/write-combining (paper §2.2): ops on a key already in flight from the
+  // same CN are coalesced. Emulated per worker with a small recent-key window.
+  bool rdwc = true;
+  int rdwc_window = 16;
+};
+
+struct RunResult {
+  dmsim::ClientStats stats;      // merged across workers
+  uint64_t executed_ops = 0;     // after RDWC coalescing
+  uint64_t coalesced_ops = 0;
+  double load_factor = 0;        // remote bytes allocated / ideal KV bytes (diagnostic)
+};
+
+// Bulk-loads `num_items` keys (sorted) and runs the mixed workload.
+RunResult RunWorkload(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
+                      const WorkloadMix& mix, const RunnerOptions& options);
+
+// Only the load phase (for cache-consumption studies).
+RunResult LoadOnly(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
+                   const RunnerOptions& options);
+
+// Convenience: modeled result for `n_clients` closed-loop clients given a measured run.
+dmsim::ModelResult Model(const RunResult& run, const dmsim::SimConfig& config, int num_cns,
+                         int n_clients);
+
+}  // namespace ycsb
+
+#endif  // SRC_YCSB_RUNNER_H_

@@ -1,0 +1,109 @@
+// YCSB core workloads (Cooper et al., SoCC'10) as used by the paper (§5.1): A (50/50
+// read/update), B (95/5), C (read-only), D (latest, 95/5 read/insert), E (95/5 scan/insert,
+// scans up to 100 items), plus LOAD (100% insert). Default Zipfian skew 0.99.
+#ifndef SRC_YCSB_WORKLOAD_H_
+#define SRC_YCSB_WORKLOAD_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/common/hash.h"
+#include "src/common/rand.h"
+#include "src/common/types.h"
+#include "src/common/zipf.h"
+
+namespace ycsb {
+
+enum class OpKind { kRead, kUpdate, kInsert, kScan };
+
+struct WorkloadMix {
+  std::string name;
+  double read = 0;
+  double update = 0;
+  double insert = 0;
+  double scan = 0;
+  bool latest = false;  // request distribution skewed to recent inserts (YCSB D)
+  double zipf_theta = 0.99;
+  int max_scan_len = 100;
+};
+
+inline WorkloadMix WorkloadA() { return {"A", 0.5, 0.5, 0, 0}; }
+inline WorkloadMix WorkloadB() { return {"B", 0.95, 0.05, 0, 0}; }
+inline WorkloadMix WorkloadC() { return {"C", 1.0, 0, 0, 0}; }
+inline WorkloadMix WorkloadD() {
+  WorkloadMix m{"D", 0.95, 0, 0.05, 0};
+  m.latest = true;
+  return m;
+}
+inline WorkloadMix WorkloadE() { return {"E", 0, 0, 0.05, 0.95}; }
+inline WorkloadMix WorkloadLoad() { return {"LOAD", 0, 0, 1.0, 0}; }
+
+// Maps dense logical ids to scrambled, unique, non-zero keys (Mix64 is a 64-bit bijection).
+class KeySpace {
+ public:
+  static common::Key KeyAt(uint64_t id) {
+    const common::Key k = common::Mix64(id + 1);
+    return k != 0 ? k : common::Mix64(uint64_t{1} << 62);
+  }
+};
+
+struct Op {
+  OpKind kind = OpKind::kRead;
+  common::Key key = 0;
+  int scan_len = 0;
+};
+
+// Per-thread operation generator over a (growing) id space. `loaded` ids exist initially;
+// inserts draw fresh ids from the shared counter so keys never collide across threads.
+class OpGenerator {
+ public:
+  OpGenerator(const WorkloadMix& mix, uint64_t loaded, std::atomic<uint64_t>* next_id,
+              uint64_t seed)
+      : mix_(mix),
+        next_id_(next_id),
+        rng_(seed),
+        zipf_(loaded > 0 ? loaded : 1, mix.zipf_theta),
+        latest_(loaded > 0 ? loaded : 1, mix.zipf_theta) {}
+
+  Op Next() {
+    Op op;
+    const double dice = rng_.NextDouble();
+    if (dice < mix_.read) {
+      op.kind = OpKind::kRead;
+      op.key = PickExisting();
+    } else if (dice < mix_.read + mix_.update) {
+      op.kind = OpKind::kUpdate;
+      op.key = PickExisting();
+    } else if (dice < mix_.read + mix_.update + mix_.insert) {
+      op.kind = OpKind::kInsert;
+      op.key = KeySpace::KeyAt(next_id_->fetch_add(1, std::memory_order_relaxed));
+    } else {
+      op.kind = OpKind::kScan;
+      op.key = PickExisting();
+      op.scan_len = static_cast<int>(rng_.Range(1, static_cast<uint64_t>(mix_.max_scan_len)));
+    }
+    return op;
+  }
+
+ private:
+  common::Key PickExisting() {
+    const uint64_t bound = next_id_->load(std::memory_order_relaxed);
+    if (mix_.latest) {
+      latest_.set_max(bound > 0 ? bound : 1);
+      return KeySpace::KeyAt(latest_.Next(rng_));
+    }
+    // Scrambled Zipfian over the currently existing ids.
+    const uint64_t id = zipf_.Next(rng_) % (bound > 0 ? bound : 1);
+    return KeySpace::KeyAt(common::Mix64Alt(id) % (bound > 0 ? bound : 1));
+  }
+
+  WorkloadMix mix_;
+  std::atomic<uint64_t>* next_id_;
+  common::Rng rng_;
+  common::ZipfianGenerator zipf_;
+  common::LatestGenerator latest_;
+};
+
+}  // namespace ycsb
+
+#endif  // SRC_YCSB_WORKLOAD_H_

@@ -1,0 +1,424 @@
+// Functional + concurrency tests for the baseline indexes (Sherman, SMART, ROLEX) and the
+// common RangeIndex interface, including the amplification/cache-consumption properties the
+// paper's comparison rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/chime_index.h"
+#include "src/baselines/rolex.h"
+#include "src/baselines/sherman.h"
+#include "src/baselines/smart.h"
+#include "src/common/rand.h"
+
+namespace baselines {
+namespace {
+
+dmsim::SimConfig TestConfig() {
+  dmsim::SimConfig cfg;
+  cfg.region_bytes_per_mn = 256ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  return cfg;
+}
+
+std::vector<std::pair<common::Key, common::Value>> SortedItems(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::set<common::Key> keys;
+  while (keys.size() < n) {
+    keys.insert(rng.Range(1, 1ULL << 40));
+  }
+  std::vector<std::pair<common::Key, common::Value>> items;
+  items.reserve(n);
+  for (common::Key k : keys) {
+    items.emplace_back(k, k * 2 + 1);
+  }
+  return items;
+}
+
+// ---- Interface conformance across all four indexes ---------------------------------------
+
+struct IndexParam {
+  std::string label;
+  // The factory owns the pool so each instantiation is hermetic.
+  std::function<std::pair<std::unique_ptr<dmsim::MemoryPool>, std::unique_ptr<RangeIndex>>()>
+      make;
+};
+
+class IndexConformanceTest : public ::testing::TestWithParam<IndexParam> {};
+
+TEST_P(IndexConformanceTest, BulkLoadThenPointOps) {
+  auto [pool, index] = GetParam().make();
+  dmsim::Client client(pool.get(), 0);
+  auto items = SortedItems(3000, 42);
+  index->BulkLoad(client, items);
+  for (const auto& [k, v] : items) {
+    common::Value got = 0;
+    ASSERT_TRUE(index->Search(client, k, &got)) << index->name() << " key " << k;
+    EXPECT_EQ(got, v);
+  }
+  common::Value got = 0;
+  EXPECT_FALSE(index->Search(client, items.back().first + 12345, &got));
+}
+
+TEST_P(IndexConformanceTest, UpdateChangesValue) {
+  auto [pool, index] = GetParam().make();
+  dmsim::Client client(pool.get(), 0);
+  auto items = SortedItems(500, 43);
+  index->BulkLoad(client, items);
+  const common::Key k = items[250].first;
+  EXPECT_TRUE(index->Update(client, k, 999));
+  common::Value got = 0;
+  ASSERT_TRUE(index->Search(client, k, &got));
+  EXPECT_EQ(got, 999u);
+}
+
+TEST_P(IndexConformanceTest, InsertNewKeysAfterLoad) {
+  auto [pool, index] = GetParam().make();
+  dmsim::Client client(pool.get(), 0);
+  auto items = SortedItems(1000, 44);
+  index->BulkLoad(client, items);
+  common::Rng rng(45);
+  std::map<common::Key, common::Value> extra;
+  for (int i = 0; i < 500; ++i) {
+    common::Key k = rng.Range(1, 1ULL << 40);
+    index->Insert(client, k, k + 7);
+    extra[k] = k + 7;
+  }
+  for (const auto& [k, v] : extra) {
+    common::Value got = 0;
+    ASSERT_TRUE(index->Search(client, k, &got)) << index->name() << " key " << k;
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST_P(IndexConformanceTest, ScanReturnsSortedPrefix) {
+  auto [pool, index] = GetParam().make();
+  dmsim::Client client(pool.get(), 0);
+  auto items = SortedItems(2000, 46);
+  index->BulkLoad(client, items);
+  const common::Key start = items[500].first;
+  std::vector<std::pair<common::Key, common::Value>> out;
+  const size_t got = index->Scan(client, start, 100, &out);
+  ASSERT_EQ(got, 100u) << index->name();
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, items[500 + i].first) << index->name() << " at " << i;
+    if (i > 0) {
+      EXPECT_LT(out[i - 1].first, out[i].first);
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, ConcurrentMixedOps) {
+  auto [pool_ptr, index_ptr] = GetParam().make();
+  dmsim::MemoryPool* pool = pool_ptr.get();
+  RangeIndex* index = index_ptr.get();
+  dmsim::Client setup(pool, 0);
+  auto items = SortedItems(2000, 47);
+  index->BulkLoad(setup, items);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(pool, t + 1);
+      common::Rng rng(static_cast<uint64_t>(t) + 100);
+      for (int i = 0; i < 1000; ++i) {
+        const auto& [k, v] = items[rng.Uniform(items.size())];
+        const double dice = rng.NextDouble();
+        if (dice < 0.5) {
+          common::Value got = 0;
+          if (!index->Search(client, k, &got)) {
+            errors.fetch_add(1);
+          } else if (got != v && got < 1000000) {
+            errors.fetch_add(1);  // neither original nor an updated marker value
+          }
+        } else {
+          if (!index->Update(client, k, v + 1000000 + static_cast<uint64_t>(i))) {
+            errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(errors.load(), 0) << index->name();
+}
+
+IndexParam MakeSherman() {
+  return {"Sherman", [] {
+            auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+            auto index = std::make_unique<ShermanTree>(pool.get(), ShermanOptions{});
+            return std::pair<std::unique_ptr<dmsim::MemoryPool>,
+                             std::unique_ptr<RangeIndex>>(std::move(pool), std::move(index));
+          }};
+}
+IndexParam MakeSmart() {
+  return {"SMART", [] {
+            auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+            auto index = std::make_unique<SmartTree>(pool.get(), SmartOptions{});
+            return std::pair<std::unique_ptr<dmsim::MemoryPool>,
+                             std::unique_ptr<RangeIndex>>(std::move(pool), std::move(index));
+          }};
+}
+IndexParam MakeRolex() {
+  return {"ROLEX", [] {
+            auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+            auto index = std::make_unique<RolexIndex>(pool.get(), RolexOptions{});
+            return std::pair<std::unique_ptr<dmsim::MemoryPool>,
+                             std::unique_ptr<RangeIndex>>(std::move(pool), std::move(index));
+          }};
+}
+IndexParam MakeChime() {
+  return {"CHIME", [] {
+            auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+            auto index = std::make_unique<ChimeIndex>(pool.get(), chime::ChimeOptions{});
+            return std::pair<std::unique_ptr<dmsim::MemoryPool>,
+                             std::unique_ptr<RangeIndex>>(std::move(pool), std::move(index));
+          }};
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexConformanceTest,
+                         ::testing::Values(MakeSherman(), MakeSmart(), MakeRolex(),
+                                           MakeChime()),
+                         [](const auto& param_info) { return param_info.param.label; });
+
+// ---- Paper-specific properties --------------------------------------------------------------
+
+TEST(AmplificationTest, ShermanSearchReadsWholeLeafChimeReadsNeighborhood) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  ShermanTree sherman(pool.get(), ShermanOptions{});
+  auto pool2 = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  ChimeIndex chime_idx(pool2.get(), chime::ChimeOptions{});
+  dmsim::Client c1(pool.get(), 0);
+  dmsim::Client c2(pool2.get(), 0);
+  auto items = SortedItems(5000, 50);
+  sherman.BulkLoad(c1, items);
+  chime_idx.BulkLoad(c2, items);
+
+  dmsim::Client p1(pool.get(), 1);
+  dmsim::Client p2(pool2.get(), 1);
+  common::Value v;
+  for (int i = 0; i < 500; ++i) {
+    sherman.Search(p1, items[static_cast<size_t>(i * 7)].first, &v);
+    chime_idx.Search(p2, items[static_cast<size_t>(i * 7)].first, &v);
+  }
+  const auto& s1 = p1.stats().For(dmsim::OpType::kSearch);
+  const auto& s2 = p2.stats().For(dmsim::OpType::kSearch);
+  // CHIME's per-search bytes must be several times smaller than Sherman's (whole leaf vs
+  // neighborhood): the heart of the paper's Fig 12 YCSB C result.
+  EXPECT_LT(s2.AvgBytesRead() * 3, s1.AvgBytesRead());
+}
+
+TEST(AmplificationTest, SmartReadsFewBytesButManyForUncachedTraversals) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  SmartTree smart(pool.get(), SmartOptions{});
+  dmsim::Client c(pool.get(), 0);
+  auto items = SortedItems(3000, 51);
+  smart.BulkLoad(c, items);
+  dmsim::Client probe(pool.get(), 1);
+  common::Value v;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(smart.Search(probe, items[static_cast<size_t>(i * 9)].first, &v));
+  }
+  const auto& s = probe.stats().For(dmsim::OpType::kSearch);
+  // Leaf payloads are 16 B; with a warm cache the bytes per op stay small.
+  EXPECT_LT(s.AvgBytesRead(), 600.0);
+}
+
+TEST(CacheConsumptionTest, SmartConsumesFarMoreCacheThanContiguousIndexes) {
+  auto pool1 = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  auto pool2 = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  auto pool3 = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  ShermanTree sherman(pool1.get(), ShermanOptions{});
+  SmartTree smart(pool2.get(), SmartOptions{});
+  RolexIndex rolex(pool3.get(), RolexOptions{});
+  dmsim::Client c1(pool1.get(), 0);
+  dmsim::Client c2(pool2.get(), 0);
+  dmsim::Client c3(pool3.get(), 0);
+  auto items = SortedItems(20000, 52);
+  sherman.BulkLoad(c1, items);
+  smart.BulkLoad(c2, items);
+  rolex.BulkLoad(c3, items);
+  // Touch everything so caches are fully warm.
+  common::Value v;
+  for (const auto& [k, val] : items) {
+    sherman.Search(c1, k, &v);
+    smart.Search(c2, k, &v);
+    rolex.Search(c3, k, &v);
+  }
+  EXPECT_GT(smart.CacheConsumptionBytes(), 4 * sherman.CacheConsumptionBytes());
+  EXPECT_GT(smart.CacheConsumptionBytes(), 4 * rolex.CacheConsumptionBytes());
+}
+
+TEST(RolexTest, ModelPredictionsStayWithinTwoGroups) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  RolexIndex rolex(pool.get(), RolexOptions{});
+  dmsim::Client c(pool.get(), 0);
+  auto items = SortedItems(10000, 53);
+  rolex.BulkLoad(c, items);
+  EXPECT_GT(rolex.num_segments(), 0u);
+  // Every loaded key must be findable — i.e. within the two fetched groups.
+  for (size_t i = 0; i < items.size(); i += 17) {
+    common::Value v = 0;
+    ASSERT_TRUE(rolex.Search(c, items[i].first, &v)) << "position " << i;
+  }
+}
+
+TEST(RolexTest, InsertsSpillIntoOverflowsButStayFindable) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  RolexIndex rolex(pool.get(), RolexOptions{});
+  dmsim::Client c(pool.get(), 0);
+  auto items = SortedItems(1000, 54);
+  rolex.BulkLoad(c, items);
+  // Hammer one region so its group overflows.
+  const common::Key base = items[500].first;
+  for (common::Key d = 1; d <= 100; ++d) {
+    rolex.Insert(c, base + d, d);
+  }
+  for (common::Key d = 1; d <= 100; ++d) {
+    common::Value v = 0;
+    ASSERT_TRUE(rolex.Search(c, base + d, &v)) << "delta " << d;
+    EXPECT_EQ(v, d);
+  }
+}
+
+TEST(RolexTest, HopscotchLeafVariantWorksAndReadsLess) {
+  auto pool1 = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  auto pool2 = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  RolexOptions plain;
+  RolexOptions learned = plain;
+  learned.hopscotch_leaf = true;
+  learned.neighborhood = 8;
+  RolexIndex rolex(pool1.get(), plain);
+  RolexIndex chime_learned(pool2.get(), learned);
+  dmsim::Client c1(pool1.get(), 0);
+  dmsim::Client c2(pool2.get(), 0);
+  auto items = SortedItems(5000, 60);
+  rolex.BulkLoad(c1, items);
+  chime_learned.BulkLoad(c2, items);
+  dmsim::Client p1(pool1.get(), 1);
+  dmsim::Client p2(pool2.get(), 1);
+  common::Value v = 0;
+  for (size_t i = 0; i < items.size(); i += 7) {
+    ASSERT_TRUE(rolex.Search(p1, items[i].first, &v));
+    ASSERT_TRUE(chime_learned.Search(p2, items[i].first, &v));
+    EXPECT_EQ(v, items[i].second);
+  }
+  // Inserts must remain findable in the hopscotch variant.
+  for (common::Key d = 1; d <= 50; ++d) {
+    chime_learned.Insert(p2, items[100].first + d, d);
+  }
+  for (common::Key d = 1; d <= 50; ++d) {
+    ASSERT_TRUE(chime_learned.Search(p2, items[100].first + d, &v));
+  }
+  // The neighborhood read must move fewer bytes per search than whole-group fetches.
+  const auto& s1 = p1.stats().For(dmsim::OpType::kSearch);
+  const auto& s2 = p2.stats().For(dmsim::OpType::kSearch);
+  EXPECT_LT(s2.AvgBytesRead(), s1.AvgBytesRead());
+}
+
+TEST(SmartTest, DeleteThenReinsert) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  SmartTree smart(pool.get(), SmartOptions{});
+  dmsim::Client c(pool.get(), 0);
+  smart.Insert(c, 100, 1);
+  smart.Insert(c, 200, 2);
+  EXPECT_TRUE(smart.Delete(c, 100));
+  common::Value v = 0;
+  EXPECT_FALSE(smart.Search(c, 100, &v));
+  EXPECT_TRUE(smart.Search(c, 200, &v));
+  smart.Insert(c, 100, 11);
+  ASSERT_TRUE(smart.Search(c, 100, &v));
+  EXPECT_EQ(v, 11u);
+}
+
+TEST(SmartTest, PrefixCompressionPathsWork) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  SmartTree smart(pool.get(), SmartOptions{});
+  dmsim::Client c(pool.get(), 0);
+  // Keys sharing long prefixes force compressed paths and later prefix splits.
+  std::vector<common::Key> keys = {0x1111111111111101ULL, 0x1111111111111102ULL,
+                                   0x1111111111110201ULL, 0x1111111122110201ULL,
+                                   0x1111111111111103ULL, 0x2222222222222201ULL};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    smart.Insert(c, keys[i], i + 1);
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    common::Value v = 0;
+    ASSERT_TRUE(smart.Search(c, keys[i], &v)) << std::hex << keys[i];
+    EXPECT_EQ(v, i + 1);
+  }
+}
+
+TEST(SmartTest, ConcurrentInsertsDisjoint) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  SmartTree smart(pool.get(), SmartOptions{});
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 6;
+  constexpr common::Key kPer = 1500;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(pool.get(), t);
+      common::Rng rng(static_cast<uint64_t>(t) * 7 + 3);
+      for (common::Key i = 1; i <= kPer; ++i) {
+        const common::Key k = common::Mix64(static_cast<common::Key>(t) * kPer + i) | 1;
+        smart.Insert(client, k, k ^ 0xF00);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  dmsim::Client client(pool.get(), 99);
+  for (int t = 0; t < kThreads; ++t) {
+    for (common::Key i = 1; i <= kPer; ++i) {
+      const common::Key k = common::Mix64(static_cast<common::Key>(t) * kPer + i) | 1;
+      common::Value v = 0;
+      ASSERT_TRUE(smart.Search(client, k, &v)) << "key " << k;
+      EXPECT_EQ(v, k ^ 0xF00);
+    }
+  }
+}
+
+TEST(ShermanTest, DeleteWorks) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  ShermanTree sherman(pool.get(), ShermanOptions{});
+  dmsim::Client c(pool.get(), 0);
+  for (common::Key k = 1; k <= 300; ++k) {
+    sherman.Insert(c, k, k);
+  }
+  EXPECT_TRUE(sherman.Delete(c, 150));
+  common::Value v = 0;
+  EXPECT_FALSE(sherman.Search(c, 150, &v));
+  EXPECT_FALSE(sherman.Delete(c, 150));
+  EXPECT_TRUE(sherman.Search(c, 151, &v));
+}
+
+TEST(ShermanTest, SplitsPreserveAllKeys) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  ShermanTree sherman(pool.get(), ShermanOptions{});
+  dmsim::Client c(pool.get(), 0);
+  common::Rng rng(77);
+  std::map<common::Key, common::Value> model;
+  for (int i = 0; i < 8000; ++i) {
+    const common::Key k = rng.Range(1, 1u << 28);
+    sherman.Insert(c, k, static_cast<common::Value>(i));
+    model[k] = static_cast<common::Value>(i);
+  }
+  for (const auto& [k, v] : model) {
+    common::Value got = 0;
+    ASSERT_TRUE(sherman.Search(c, k, &got)) << "key " << k;
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_GE(sherman.height(), 2);
+}
+
+}  // namespace
+}  // namespace baselines

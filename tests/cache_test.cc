@@ -1,0 +1,189 @@
+// Unit tests for the computing-side caches: the internal-node LRU cache and the LFU hotspot
+// buffer (paper §3.1 / §4.3).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/cache/hotspot_buffer.h"
+#include "src/cache/index_cache.h"
+
+namespace cncache {
+namespace {
+
+std::shared_ptr<CachedNode> MakeNode(uint16_t id, int entries) {
+  auto node = std::make_shared<CachedNode>();
+  node->addr = common::GlobalAddress(1, static_cast<uint64_t>(id) * 4096);
+  node->level = 1;
+  node->fence_lo = static_cast<uint64_t>(id) * 100;
+  node->fence_hi = (static_cast<uint64_t>(id) + 1) * 100;
+  for (int i = 0; i < entries; ++i) {
+    node->entries.emplace_back(node->fence_lo + static_cast<uint64_t>(i),
+                               common::GlobalAddress(1, static_cast<uint64_t>(i + 1) * 64));
+  }
+  return node;
+}
+
+TEST(IndexCacheTest, PutGetInvalidate) {
+  IndexCache cache(1 << 20, 8);
+  auto node = MakeNode(1, 4);
+  cache.Put(node);
+  EXPECT_NE(cache.Get(node->addr), nullptr);
+  cache.Invalidate(node->addr);
+  EXPECT_EQ(cache.Get(node->addr), nullptr);
+}
+
+TEST(IndexCacheTest, GetMissReturnsNull) {
+  IndexCache cache(1 << 20, 8);
+  EXPECT_EQ(cache.Get(common::GlobalAddress(1, 64)), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(IndexCacheTest, PutReplacesSnapshot) {
+  IndexCache cache(1 << 20, 8);
+  cache.Put(MakeNode(1, 4));
+  auto bigger = MakeNode(1, 8);
+  cache.Put(bigger);
+  auto got = cache.Get(bigger->addr);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->entries.size(), 8u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(IndexCacheTest, EvictsLruWhenOverBudget) {
+  // Each 4-entry node is 16 + 16 + 4*16 = 96 bytes; cap at ~3 nodes.
+  IndexCache cache(300, 8);
+  cache.Put(MakeNode(1, 4));
+  cache.Put(MakeNode(2, 4));
+  cache.Put(MakeNode(3, 4));
+  // Touch node 1 so node 2 is the LRU victim.
+  EXPECT_NE(cache.Get(MakeNode(1, 4)->addr), nullptr);
+  cache.Put(MakeNode(4, 4));
+  EXPECT_LE(cache.bytes_used(), 300u);
+  EXPECT_EQ(cache.Get(MakeNode(2, 4)->addr), nullptr);   // evicted
+  EXPECT_NE(cache.Get(MakeNode(1, 4)->addr), nullptr);   // survived
+}
+
+TEST(IndexCacheTest, BytesAccountingMatchesNodeSizes) {
+  IndexCache cache(1 << 20, 8);
+  auto node = MakeNode(1, 10);
+  cache.Put(node);
+  EXPECT_EQ(cache.bytes_used(), node->Bytes(8));
+  cache.Invalidate(node->addr);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST(IndexCacheTest, FindChildRoutesByPivot) {
+  auto node = MakeNode(0, 4);  // pivots 0, 1, 2, 3
+  EXPECT_EQ(node->FindChild(0), 0);
+  EXPECT_EQ(node->FindChild(2), 2);
+  EXPECT_EQ(node->FindChild(99), 3);
+}
+
+TEST(IndexCacheTest, ConcurrentPutGetIsSafe) {
+  IndexCache cache(64 << 10, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const uint16_t id = static_cast<uint16_t>((t * 31 + i) % 100);
+        if (i % 3 == 0) {
+          cache.Put(MakeNode(id, 4));
+        } else if (i % 3 == 1) {
+          cache.Get(common::GlobalAddress(1, static_cast<uint64_t>(id) * 4096));
+        } else {
+          cache.Invalidate(common::GlobalAddress(1, static_cast<uint64_t>(id) * 4096));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_LE(cache.bytes_used(), 64u << 10);
+}
+
+TEST(HotspotBufferTest, AccessThenLookup) {
+  HotspotBuffer buf(1 << 10);
+  common::GlobalAddress leaf(1, 4096);
+  buf.OnAccess(leaf, 5, 0xABCD);
+  auto hit = buf.Lookup(leaf, /*home=*/2, /*h=*/8, /*span=*/64, 0xABCD);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 5);
+}
+
+TEST(HotspotBufferTest, LookupRespectsNeighborhoodWindow) {
+  HotspotBuffer buf(1 << 10);
+  common::GlobalAddress leaf(1, 4096);
+  buf.OnAccess(leaf, 20, 0x1111);
+  EXPECT_FALSE(buf.Lookup(leaf, 2, 8, 64, 0x1111).has_value());  // 20 outside [2,10)
+  EXPECT_TRUE(buf.Lookup(leaf, 15, 8, 64, 0x1111).has_value());  // 20 inside [15,23)
+}
+
+TEST(HotspotBufferTest, LookupChecksFingerprint) {
+  HotspotBuffer buf(1 << 10);
+  common::GlobalAddress leaf(1, 4096);
+  buf.OnAccess(leaf, 5, 0xAAAA);
+  EXPECT_FALSE(buf.Lookup(leaf, 2, 8, 64, 0xBBBB).has_value());
+}
+
+TEST(HotspotBufferTest, WrapAroundNeighborhoodLookup) {
+  HotspotBuffer buf(1 << 10);
+  common::GlobalAddress leaf(1, 4096);
+  buf.OnAccess(leaf, 1, 0x7777);  // slot 1 is inside the wrapped window [60, 4)
+  auto hit = buf.Lookup(leaf, 60, 8, 64, 0x7777);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1);
+}
+
+TEST(HotspotBufferTest, HottestWins) {
+  HotspotBuffer buf(1 << 10);
+  common::GlobalAddress leaf(1, 4096);
+  for (int i = 0; i < 5; ++i) {
+    buf.OnAccess(leaf, 3, 0x9999);
+  }
+  buf.OnAccess(leaf, 4, 0x9999);
+  auto hit = buf.Lookup(leaf, 0, 8, 64, 0x9999);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 3);
+}
+
+TEST(HotspotBufferTest, FingerprintMismatchRetargetsEntry) {
+  HotspotBuffer buf(1 << 10);
+  common::GlobalAddress leaf(1, 4096);
+  for (int i = 0; i < 5; ++i) {
+    buf.OnAccess(leaf, 3, 0x1111);
+  }
+  buf.OnAccess(leaf, 3, 0x2222);  // the slot now holds another key
+  EXPECT_FALSE(buf.Lookup(leaf, 0, 8, 64, 0x1111).has_value());
+  EXPECT_TRUE(buf.Lookup(leaf, 0, 8, 64, 0x2222).has_value());
+}
+
+TEST(HotspotBufferTest, CapacityBoundedWithEviction) {
+  HotspotBuffer buf(10 * HotspotBuffer::kEntryBytes);
+  common::GlobalAddress leaf(1, 4096);
+  for (uint16_t i = 0; i < 100; ++i) {
+    buf.OnAccess(leaf, i, static_cast<uint16_t>(i));
+  }
+  EXPECT_LE(buf.entries(), 10u);
+}
+
+TEST(HotspotBufferTest, ZeroCapacityIsDisabled) {
+  HotspotBuffer buf(0);
+  common::GlobalAddress leaf(1, 4096);
+  buf.OnAccess(leaf, 1, 1);
+  EXPECT_FALSE(buf.Lookup(leaf, 0, 8, 64, 1).has_value());
+  EXPECT_EQ(buf.entries(), 0u);
+}
+
+TEST(HotspotBufferTest, InvalidateRemovesEntry) {
+  HotspotBuffer buf(1 << 10);
+  common::GlobalAddress leaf(1, 4096);
+  buf.OnAccess(leaf, 5, 0xABCD);
+  buf.Invalidate(leaf, 5);
+  EXPECT_FALSE(buf.Lookup(leaf, 2, 8, 64, 0xABCD).has_value());
+}
+
+}  // namespace
+}  // namespace cncache

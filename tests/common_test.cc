@@ -1,0 +1,255 @@
+// Unit tests for src/common: addresses, hashing, RNG, Zipfian generators, histograms, bitops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/bitops.h"
+#include "src/common/hash.h"
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/common/types.h"
+#include "src/common/zipf.h"
+
+namespace common {
+namespace {
+
+TEST(GlobalAddressTest, PackUnpackRoundTrip) {
+  GlobalAddress a(3, 0x123456789abcULL);
+  GlobalAddress b = GlobalAddress::Unpack(a.Pack());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.node_id, 3);
+  EXPECT_EQ(b.offset, 0x123456789abcULL);
+}
+
+TEST(GlobalAddressTest, NullIsNull) {
+  EXPECT_TRUE(GlobalAddress::Null().is_null());
+  EXPECT_FALSE(GlobalAddress(1, 0).is_null());
+  EXPECT_FALSE(GlobalAddress(0, 8).is_null());
+}
+
+TEST(GlobalAddressTest, ArithmeticAdvancesOffsetOnly) {
+  GlobalAddress a(2, 100);
+  GlobalAddress b = a + 28;
+  EXPECT_EQ(b.node_id, 2);
+  EXPECT_EQ(b.offset, 128u);
+}
+
+TEST(GlobalAddressTest, PackIsInjectiveOverNodeAndOffset) {
+  std::set<uint64_t> seen;
+  for (uint16_t node = 0; node < 4; ++node) {
+    for (uint64_t off = 0; off < 64; off += 8) {
+      EXPECT_TRUE(seen.insert(GlobalAddress(node, off).Pack()).second);
+    }
+  }
+}
+
+TEST(HashTest, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+  // Low bits of sequential keys should be well spread (hopscotch home entries rely on this).
+  std::set<uint64_t> low_bits;
+  for (uint64_t i = 0; i < 128; ++i) {
+    low_bits.insert(Mix64(i) % 128);
+  }
+  EXPECT_GT(low_bits.size(), 70u);
+}
+
+TEST(HashTest, FingerprintsDifferAcrossKeys) {
+  int collisions = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (Fingerprint16(i) == Fingerprint16(i + 1)) {
+      collisions++;
+    }
+  }
+  EXPECT_LT(collisions, 5);
+}
+
+TEST(HashTest, HashBytesMatchesAcrossCallsAndDiffersAcrossInputs) {
+  const char a[] = "hello";
+  const char b[] = "hellp";
+  EXPECT_EQ(HashBytes(a, 5), HashBytes(a, 5));
+  EXPECT_NE(HashBytes(a, 5), HashBytes(b, 5));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t r = rng.Range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  Rng rng(3);
+  ZipfianGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMassOnHead) {
+  Rng rng(4);
+  ZipfianGenerator zipf(100000, 0.99);
+  int head_hits = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) < 100) {
+      head_hits++;
+    }
+  }
+  // With theta=0.99 the first 0.1% of items should receive a large share of requests.
+  EXPECT_GT(head_hits, kSamples / 4);
+}
+
+TEST(ZipfTest, LowerThetaIsLessSkewed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  ZipfianGenerator high(100000, 0.99);
+  ZipfianGenerator low(100000, 0.5);
+  int high_head = 0;
+  int low_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (high.Next(rng1) < 100) {
+      high_head++;
+    }
+    if (low.Next(rng2) < 100) {
+      low_head++;
+    }
+  }
+  EXPECT_GT(high_head, low_head);
+}
+
+TEST(ZipfTest, ScrambledSpreadsHotKeys) {
+  Rng rng(6);
+  ScrambledZipfianGenerator zipf(100000, 0.99);
+  // The most popular scrambled keys should not be clustered in a small range.
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  std::vector<std::pair<int, uint64_t>> by_count;
+  by_count.reserve(counts.size());
+  for (const auto& [k, c] : counts) {
+    by_count.emplace_back(c, k);
+  }
+  std::sort(by_count.rbegin(), by_count.rend());
+  uint64_t min_key = UINT64_MAX;
+  uint64_t max_key = 0;
+  for (int i = 0; i < 10 && i < static_cast<int>(by_count.size()); ++i) {
+    min_key = std::min(min_key, by_count[i].second);
+    max_key = std::max(max_key, by_count[i].second);
+  }
+  EXPECT_GT(max_key - min_key, 10000u);
+}
+
+TEST(ZipfTest, LatestFavorsRecentItems) {
+  Rng rng(7);
+  LatestGenerator latest(100000, 0.99);
+  int recent = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (latest.Next(rng) >= 99000) {
+      recent++;
+    }
+  }
+  EXPECT_GT(recent, 5000);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1000.0);
+  EXPECT_NEAR(h.Percentile(50), 1000.0, 1.0);
+  EXPECT_NEAR(h.Percentile(99), 1000.0, 1.0);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndApproximate) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) {
+    h.Record(v);
+  }
+  const double p50 = h.Percentile(50);
+  const double p90 = h.Percentile(90);
+  const double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(p50, 5000, 5000 * 0.15);
+  EXPECT_NEAR(p99, 9900, 9900 * 0.15);
+  EXPECT_NEAR(h.Mean(), 5000.5, 1e-6);
+}
+
+TEST(HistogramTest, MergeCombinesMass) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(10);
+    b.Record(1000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_NEAR(a.Mean(), 505.0, 1e-6);
+  EXPECT_LT(a.Percentile(40), 20.0);
+  EXPECT_GT(a.Percentile(60), 900.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(BitopsTest, SetTestClear) {
+  uint64_t bits = 0;
+  bits = SetBit(bits, 5);
+  EXPECT_TRUE(TestBit(bits, 5));
+  EXPECT_FALSE(TestBit(bits, 4));
+  bits = ClearBit(bits, 5);
+  EXPECT_FALSE(TestBit(bits, 5));
+}
+
+TEST(BitopsTest, LowestSetBit) {
+  EXPECT_EQ(LowestSetBit(0), -1);
+  EXPECT_EQ(LowestSetBit(1), 0);
+  EXPECT_EQ(LowestSetBit(0b101000), 3);
+}
+
+TEST(BitopsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(3), 0b111u);
+  EXPECT_EQ(LowMask(64), ~uint64_t{0});
+}
+
+}  // namespace
+}  // namespace common

@@ -1,0 +1,213 @@
+// Edge-case tests for the DM substrate: allocation, batching semantics, op bracketing, and
+// stat separation by operation type.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/dmsim/client.h"
+#include "src/dmsim/pool.h"
+#include "src/dmsim/throughput_model.h"
+
+namespace dmsim {
+namespace {
+
+SimConfig SmallConfig() {
+  SimConfig cfg;
+  cfg.num_memory_nodes = 2;
+  cfg.region_bytes_per_mn = 64 << 20;
+  cfg.chunk_bytes = 1 << 20;
+  return cfg;
+}
+
+TEST(AllocTest, OversizedAllocationBypassesChunking) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  // 5 MB > 1 MB chunk: served by a dedicated reservation, still line-aligned and usable.
+  common::GlobalAddress big = c.Alloc(5 << 20, 64);
+  EXPECT_EQ(big.offset % 64, 0u);
+  uint8_t byte = 0xEE;
+  c.Write(big + ((5 << 20) - 1), &byte, 1);
+  uint8_t got = 0;
+  c.Read(big + ((5 << 20) - 1), &got, 1);
+  EXPECT_EQ(got, 0xEE);
+  // Normal chunked allocation continues to work afterwards.
+  common::GlobalAddress small = c.Alloc(64, 64);
+  EXPECT_FALSE(small.is_null());
+  c.AbortOp();
+}
+
+TEST(AllocTest, SequentialAllocationsDoNotOverlap) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress prev = c.Alloc(100, 64);
+  for (int i = 0; i < 1000; ++i) {
+    common::GlobalAddress cur = c.Alloc(100, 64);
+    if (cur.node_id == prev.node_id) {
+      EXPECT_TRUE(cur.offset >= prev.offset + 100 || cur.offset + 100 <= prev.offset);
+    }
+    prev = cur;
+  }
+  c.AbortOp();
+}
+
+TEST(BatchTest, WriteBatchWritesAllEntries) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress a = c.Alloc(8, 8);
+  common::GlobalAddress b = c.Alloc(8, 8);
+  uint64_t va = 0x1111;
+  uint64_t vb = 0x2222;
+  c.WriteBatch({{a, &va, 8}, {b, &vb, 8}});
+  EXPECT_EQ(c.CurrentOpRtts(), 1u);
+  uint64_t ra = 0;
+  uint64_t rb = 0;
+  c.Read(a, &ra, 8);
+  c.Read(b, &rb, 8);
+  EXPECT_EQ(ra, 0x1111u);
+  EXPECT_EQ(rb, 0x2222u);
+  c.EndOp(OpType::kOther);
+}
+
+TEST(BatchTest, EmptyBatchIsNoop) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  c.ReadBatch({});
+  c.WriteBatch({});
+  EXPECT_EQ(c.CurrentOpRtts(), 0u);
+  c.AbortOp();
+}
+
+TEST(OpBracketTest, AbortDiscardsTheBracket) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress a = c.Alloc(64, 64);
+  uint8_t buf[64] = {};
+  c.Read(a, buf, 64);
+  c.AbortOp();
+  EXPECT_EQ(c.stats().Combined().ops, 0u);
+}
+
+TEST(OpBracketTest, StatsSeparateByOpType) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress a = c.Alloc(64, 64);
+  c.AbortOp();
+  uint8_t buf[64] = {};
+  for (int i = 0; i < 3; ++i) {
+    c.BeginOp();
+    c.Read(a, buf, 64);
+    c.EndOp(OpType::kSearch);
+  }
+  for (int i = 0; i < 2; ++i) {
+    c.BeginOp();
+    c.Write(a, buf, 64);
+    c.Write(a, buf, 32);
+    c.EndOp(OpType::kInsert);
+  }
+  c.BeginOp();
+  c.Read(a, buf, 64);
+  c.EndOp(OpType::kScan);
+  EXPECT_EQ(c.stats().For(OpType::kSearch).ops, 3u);
+  EXPECT_EQ(c.stats().For(OpType::kInsert).ops, 2u);
+  EXPECT_EQ(c.stats().For(OpType::kInsert).rtts, 4u);
+  EXPECT_EQ(c.stats().For(OpType::kScan).ops, 1u);
+  EXPECT_EQ(c.stats().For(OpType::kUpdate).ops, 0u);
+  EXPECT_EQ(c.stats().Combined().ops, 6u);
+}
+
+TEST(OpBracketTest, RetryAndCacheCountersLand) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  c.CountRetry();
+  c.CountRetry();
+  c.CountCacheHit();
+  c.CountCacheMiss();
+  c.EndOp(OpType::kUpdate);
+  const OpTypeStats& s = c.stats().For(OpType::kUpdate);
+  EXPECT_EQ(s.retries, 2u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+}
+
+TEST(NicModelTest, LatencyScalesWithPayload) {
+  NicParams params;
+  NicModel nic(params);
+  EXPECT_LT(nic.VerbLatencyNs(8), nic.VerbLatencyNs(4096));
+  EXPECT_GT(nic.AtomicLatencyNs(), nic.VerbLatencyNs(8));
+  // 1 MB at 12.5 GB/s is ~80 us of serialization on top of the base RTT.
+  EXPECT_NEAR(nic.VerbLatencyNs(1 << 20) - params.base_rtt_ns,
+              (1 << 20) / params.bandwidth_bytes_per_sec * 1e9, 1000);
+}
+
+TEST(ThroughputModelTest, CnBandwidthBoundWithFewCns) {
+  SimConfig cfg;
+  cfg.num_memory_nodes = 10;  // memory side is plentiful
+  ThroughputModel model(cfg, /*num_cns=*/1);
+  OpTypeStats demand;
+  demand.ops = 100;
+  demand.verbs = 100;
+  demand.bytes_read = 100 * 8192;
+  for (int i = 0; i < 100; ++i) {
+    demand.latency_ns.Record(3000);
+  }
+  const ModelResult r = model.Evaluate(demand, 100000);
+  EXPECT_EQ(r.bottleneck, "cn-bandwidth");
+}
+
+TEST(ThroughputModelTest, SingleClientLatencyEqualsUnloaded) {
+  SimConfig cfg;
+  ThroughputModel model(cfg, 10);
+  OpTypeStats demand;
+  demand.ops = 10;
+  demand.verbs = 10;
+  demand.bytes_read = 10 * 64;
+  for (int i = 0; i < 10; ++i) {
+    demand.latency_ns.Record(5000);
+  }
+  const ModelResult r = model.Evaluate(demand, 1);
+  EXPECT_NEAR(r.avg_us, 5.0, 0.01);
+  EXPECT_NEAR(r.throughput_mops, 0.2, 0.01);  // 1 / 5us
+}
+
+TEST(FabricTest, ConcurrentAtomicsOnDistinctWordsDontInterfere) {
+  MemoryPool pool(SmallConfig());
+  Client setup(&pool, 0);
+  setup.BeginOp();
+  common::GlobalAddress base = setup.Alloc(8 * 64, 64);
+  uint64_t zeros[64] = {};
+  setup.Write(base, zeros, 8 * 64);
+  setup.AbortOp();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&pool, base, t] {
+      Client c(&pool, t + 1);
+      c.BeginOp();
+      for (int i = 0; i < 3000; ++i) {
+        c.FetchAdd(base + static_cast<uint64_t>(t) * 8, 1);
+      }
+      c.AbortOp();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < 8; ++t) {
+    uint64_t v = 0;
+    setup.BeginOp();
+    setup.Read(base + static_cast<uint64_t>(t) * 8, &v, 8);
+    setup.AbortOp();
+    EXPECT_EQ(v, 3000u) << "word " << t;
+  }
+}
+
+}  // namespace
+}  // namespace dmsim

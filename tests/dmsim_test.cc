@@ -1,0 +1,407 @@
+// Unit and concurrency tests for the simulated disaggregated-memory substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dmsim/client.h"
+#include "src/dmsim/pool.h"
+#include "src/dmsim/throughput_model.h"
+
+namespace dmsim {
+namespace {
+
+SimConfig SmallConfig() {
+  SimConfig cfg;
+  cfg.num_memory_nodes = 2;
+  cfg.region_bytes_per_mn = 8 << 20;
+  cfg.chunk_bytes = 1 << 20;
+  return cfg;
+}
+
+TEST(PoolTest, NodesNumberedFromOne) {
+  MemoryPool pool(SmallConfig());
+  EXPECT_EQ(pool.num_nodes(), 2);
+  EXPECT_EQ(pool.node(1).node_id(), 1);
+  EXPECT_EQ(pool.node(2).node_id(), 2);
+}
+
+TEST(ClientTest, WriteThenReadRoundTrips) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress addr = c.Alloc(64);
+  uint8_t out[64];
+  uint8_t in[64];
+  for (int i = 0; i < 64; ++i) {
+    out[i] = static_cast<uint8_t>(i * 3);
+  }
+  c.Write(addr, out, 64);
+  c.Read(addr, in, 64);
+  c.EndOp(OpType::kOther);
+  EXPECT_EQ(std::memcmp(out, in, 64), 0);
+}
+
+TEST(ClientTest, AllocAlignsAndAdvances) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress a = c.Alloc(10, 64);
+  common::GlobalAddress b = c.Alloc(10, 64);
+  c.EndOp(OpType::kOther);
+  EXPECT_EQ(a.offset % 64, 0u);
+  EXPECT_EQ(b.offset % 64, 0u);
+  EXPECT_NE(a.Pack(), b.Pack());
+}
+
+TEST(ClientTest, AllocSpreadsChunksAcrossNodes) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  std::vector<uint16_t> nodes;
+  // Force several chunk allocations by exhausting chunks.
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(c.Alloc(pool.config().chunk_bytes, 64).node_id);
+  }
+  c.EndOp(OpType::kOther);
+  EXPECT_NE(nodes[0], nodes[1]);  // round-robin across 2 MNs
+}
+
+TEST(ClientTest, CasSucceedsAndFails) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress addr = c.Alloc(8, 8);
+  uint64_t zero = 0;
+  c.Write(addr, &zero, 8);
+  EXPECT_EQ(c.Cas(addr, 0, 42), 0u);   // success: observed 0
+  EXPECT_EQ(c.Cas(addr, 0, 99), 42u);  // failure: observed 42
+  uint64_t v = 0;
+  c.Read(addr, &v, 8);
+  EXPECT_EQ(v, 42u);
+  c.EndOp(OpType::kOther);
+}
+
+TEST(ClientTest, MaskedCasComparesOnlyMaskedBits) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress addr = c.Alloc(8, 8);
+  // Lock word: bit 0 = lock, upper bits = payload (e.g. vacancy bitmap).
+  uint64_t init = 0xABCD0000'00000000ULL;  // unlocked, payload set
+  c.Write(addr, &init, 8);
+  // Acquire: compare only bit 0 against 0, set bit 0 to 1, keep payload.
+  const uint64_t old = c.MaskedCas(addr, /*compare=*/0, /*swap=*/1,
+                                   /*compare_mask=*/0x1, /*swap_mask=*/0x1);
+  EXPECT_EQ(old, init);  // payload came back for free
+  uint64_t now = 0;
+  c.Read(addr, &now, 8);
+  EXPECT_EQ(now, init | 1);
+  // Second acquire fails (bit 0 is already 1) and does not modify the word.
+  const uint64_t old2 = c.MaskedCas(addr, 0, 1, 0x1, 0x1);
+  EXPECT_EQ(old2 & 1, 1u);
+  c.Read(addr, &now, 8);
+  EXPECT_EQ(now, init | 1);
+  c.EndOp(OpType::kOther);
+}
+
+TEST(ClientTest, MaskedCasSwapsOnlyMaskedBits) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress addr = c.Alloc(8, 8);
+  uint64_t init = 0xFFFF'FFFF'FFFF'FFF0ULL;
+  c.Write(addr, &init, 8);
+  // Swap the low nibble only.
+  c.MaskedCas(addr, 0x0, 0xA, /*compare_mask=*/0xF, /*swap_mask=*/0xF);
+  uint64_t now = 0;
+  c.Read(addr, &now, 8);
+  EXPECT_EQ(now, 0xFFFF'FFFF'FFFF'FFFAULL);
+  c.EndOp(OpType::kOther);
+}
+
+TEST(ClientTest, FetchAddReturnsOldValue) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress addr = c.Alloc(8, 8);
+  uint64_t init = 7;
+  c.Write(addr, &init, 8);
+  EXPECT_EQ(c.FetchAdd(addr, 5), 7u);
+  uint64_t now = 0;
+  c.Read(addr, &now, 8);
+  EXPECT_EQ(now, 12u);
+  c.EndOp(OpType::kOther);
+}
+
+TEST(ClientTest, ReadBatchCountsOneRttManyVerbs) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress a = c.Alloc(16);
+  common::GlobalAddress b = c.Alloc(16);
+  uint64_t va[2] = {1, 2};
+  uint64_t vb[2] = {3, 4};
+  c.Write(a, va, 16);
+  c.Write(b, vb, 16);
+  c.EndOp(OpType::kOther);
+
+  c.BeginOp();
+  uint64_t ra[2];
+  uint64_t rb[2];
+  c.ReadBatch({{a, ra, 16}, {b, rb, 16}});
+  EXPECT_EQ(c.CurrentOpRtts(), 1u);
+  c.EndOp(OpType::kOther);
+  EXPECT_EQ(ra[1], 2u);
+  EXPECT_EQ(rb[0], 3u);
+  const OpTypeStats& s = c.stats().For(OpType::kOther);
+  EXPECT_EQ(s.ops, 2u);
+}
+
+TEST(ClientTest, StatsTrackRttsAndBytes) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress addr = c.Alloc(128);
+  uint8_t buf[128] = {};
+  c.Write(addr, buf, 128);
+  c.Read(addr, buf, 128);
+  c.Read(addr, buf, 64);
+  c.EndOp(OpType::kSearch);
+  const OpTypeStats& s = c.stats().For(OpType::kSearch);
+  EXPECT_EQ(s.ops, 1u);
+  EXPECT_EQ(s.rtts, 3u);
+  EXPECT_EQ(s.bytes_read, 192u);
+  EXPECT_EQ(s.bytes_written, 128u);
+  EXPECT_EQ(s.min_rtts_per_op, 3u);
+  EXPECT_EQ(s.max_rtts_per_op, 3u);
+}
+
+TEST(ClientTest, NicCountersAccumulate) {
+  MemoryPool pool(SmallConfig());
+  Client c(&pool, 0);
+  c.BeginOp();
+  common::GlobalAddress addr = c.Alloc(64);
+  uint8_t buf[64] = {};
+  c.Write(addr, buf, 64);
+  c.Read(addr, buf, 64);
+  c.EndOp(OpType::kOther);
+  NicModel& nic = pool.node_for(addr).nic();
+  EXPECT_EQ(nic.total_bytes_in(), 64u);
+  EXPECT_EQ(nic.total_bytes_out(), 64u);
+  EXPECT_GE(nic.total_verbs(), 2u);
+}
+
+TEST(ClientTest, ConcurrentCasIsLinearizable) {
+  MemoryPool pool(SmallConfig());
+  Client setup(&pool, 0);
+  setup.BeginOp();
+  common::GlobalAddress addr = setup.Alloc(8, 8);
+  uint64_t zero = 0;
+  setup.Write(addr, &zero, 8);
+  setup.EndOp(OpType::kOther);
+
+  // Many threads CAS-increment the same counter; every increment must be applied exactly once.
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, addr, t] {
+      Client c(&pool, t + 1);
+      for (int i = 0; i < kIncrements; ++i) {
+        c.BeginOp();
+        while (true) {
+          uint64_t cur = 0;
+          c.Read(addr, &cur, 8);
+          if (c.Cas(addr, cur, cur + 1) == cur) {
+            break;
+          }
+        }
+        c.EndOp(OpType::kOther);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t final_value = 0;
+  setup.BeginOp();
+  setup.Read(addr, &final_value, 8);
+  setup.EndOp(OpType::kOther);
+  EXPECT_EQ(final_value, static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(ClientTest, ConcurrentFetchAddIsExact) {
+  MemoryPool pool(SmallConfig());
+  Client setup(&pool, 0);
+  setup.BeginOp();
+  common::GlobalAddress addr = setup.Alloc(8, 8);
+  uint64_t zero = 0;
+  setup.Write(addr, &zero, 8);
+  setup.EndOp(OpType::kOther);
+
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, addr, t] {
+      Client c(&pool, t + 1);
+      c.BeginOp();
+      for (int i = 0; i < kAdds; ++i) {
+        c.FetchAdd(addr, 1);
+      }
+      c.EndOp(OpType::kOther);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t final_value = 0;
+  setup.BeginOp();
+  setup.Read(addr, &final_value, 8);
+  setup.EndOp(OpType::kOther);
+  EXPECT_EQ(final_value, static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(FabricTest, BlockAtomicVisibility) {
+  // A 64-byte-aligned block written with uniform patterns must never be observed mixed:
+  // that is the RDMA cache-line visibility guarantee the version protocols build on.
+  MemoryPool pool(SmallConfig());
+  Client setup(&pool, 0);
+  setup.BeginOp();
+  common::GlobalAddress addr = setup.Alloc(64, 64);
+  uint8_t zeros[64] = {};
+  setup.Write(addr, zeros, 64);
+  setup.EndOp(OpType::kOther);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    Client c(&pool, 1);
+    uint8_t buf[64];
+    uint8_t pattern = 0;
+    c.BeginOp();
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::memset(buf, ++pattern, 64);
+      c.Write(addr, buf, 64);
+    }
+    c.AbortOp();
+  });
+  std::thread reader([&] {
+    Client c(&pool, 2);
+    uint8_t buf[64];
+    c.BeginOp();
+    for (int i = 0; i < 20000; ++i) {
+      c.Read(addr, buf, 64);
+      for (int j = 1; j < 64; ++j) {
+        if (buf[j] != buf[0]) {
+          torn.fetch_add(1);
+          break;
+        }
+      }
+    }
+    c.AbortOp();
+  });
+  reader.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(ThroughputModelTest, LatencyBoundAtLowClientCounts) {
+  SimConfig cfg;
+  ThroughputModel model(cfg, /*num_cns=*/10);
+  OpTypeStats demand;
+  demand.ops = 1000;
+  demand.verbs = 2000;           // 2 verbs/op
+  demand.bytes_read = 128000;    // 128 B/op
+  demand.bytes_written = 0;
+  for (int i = 0; i < 1000; ++i) {
+    demand.latency_ns.Record(4000);  // R = 4 us
+  }
+  ModelResult r = model.Evaluate(demand, /*n_clients=*/4);
+  EXPECT_EQ(r.bottleneck, "latency");
+  EXPECT_NEAR(r.throughput_mops, 4.0 / 4.0, 0.01);  // N/R = 4 / 4us = 1 Mops
+  EXPECT_NEAR(r.avg_us, 4.0, 0.01);
+}
+
+TEST(ThroughputModelTest, BandwidthBoundWithLargeReads) {
+  SimConfig cfg;  // 12.5 GB/s
+  ThroughputModel model(cfg, 10);
+  OpTypeStats demand;
+  demand.ops = 100;
+  demand.verbs = 100;
+  demand.bytes_read = 100 * 4096;  // 4 KB/op
+  for (int i = 0; i < 100; ++i) {
+    demand.latency_ns.Record(3000);
+  }
+  ModelResult r = model.Evaluate(demand, /*n_clients=*/10000);
+  EXPECT_EQ(r.bottleneck, "mn-bandwidth-out");
+  EXPECT_NEAR(r.throughput_mops, 12.5e9 / 4096 / 1e6, 0.05);
+  // Loaded latency is inflated beyond the unloaded 3 us.
+  EXPECT_GT(r.avg_us, 3.0);
+}
+
+TEST(ThroughputModelTest, IopsBoundWithTinyReads) {
+  SimConfig cfg;
+  ThroughputModel model(cfg, 10);
+  OpTypeStats demand;
+  demand.ops = 100;
+  demand.verbs = 300;  // 3 verbs/op, 8 B each: IOPS binds before bandwidth
+  demand.bytes_read = 100 * 24;
+  for (int i = 0; i < 100; ++i) {
+    demand.latency_ns.Record(6000);
+  }
+  ModelResult r = model.Evaluate(demand, 100000);
+  EXPECT_EQ(r.bottleneck, "mn-iops");
+  EXPECT_NEAR(r.throughput_mops, cfg.mn_nic.iops / 3.0 / 1e6, 0.5);
+}
+
+TEST(ThroughputModelTest, MoreMemoryNodesRaiseBandwidthBound) {
+  SimConfig cfg1;
+  SimConfig cfg10 = cfg1;
+  cfg10.num_memory_nodes = 10;
+  OpTypeStats demand;
+  demand.ops = 100;
+  demand.verbs = 100;
+  demand.bytes_read = 100 * 4096;
+  for (int i = 0; i < 100; ++i) {
+    demand.latency_ns.Record(3000);
+  }
+  ModelResult r1 = ThroughputModel(cfg1, 10).Evaluate(demand, 100000);
+  ModelResult r10 = ThroughputModel(cfg10, 10).Evaluate(demand, 100000);
+  EXPECT_NEAR(r10.throughput_mops / r1.throughput_mops, 10.0, 0.5);
+}
+
+TEST(ThroughputModelTest, EmptyDemandYieldsZero) {
+  SimConfig cfg;
+  ThroughputModel model(cfg, 10);
+  OpTypeStats demand;
+  ModelResult r = model.Evaluate(demand, 100);
+  EXPECT_EQ(r.throughput_mops, 0);
+}
+
+TEST(OpStatsTest, MergeAggregates) {
+  OpTypeStats a;
+  OpTypeStats b;
+  a.ops = 2;
+  a.rtts = 4;
+  a.min_rtts_per_op = 1;
+  a.max_rtts_per_op = 3;
+  b.ops = 3;
+  b.rtts = 9;
+  b.min_rtts_per_op = 2;
+  b.max_rtts_per_op = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.ops, 5u);
+  EXPECT_EQ(a.rtts, 13u);
+  EXPECT_EQ(a.min_rtts_per_op, 1u);
+  EXPECT_EQ(a.max_rtts_per_op, 5u);
+}
+
+}  // namespace
+}  // namespace dmsim

@@ -1,0 +1,199 @@
+// Unit + property tests for the hash-collision-resolution schemes (paper §2.3 / Fig 3d).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/rand.h"
+#include "src/hashscheme/associative.h"
+#include "src/hashscheme/farm.h"
+#include "src/hashscheme/hopscotch.h"
+#include "src/hashscheme/load_factor.h"
+#include "src/hashscheme/race.h"
+
+namespace hashscheme {
+namespace {
+
+// ---- Hopscotch specifics ------------------------------------------------------------------
+
+TEST(HopscotchTest, InsertSearchRemoveRoundTrip) {
+  HopscotchTable table(128, 8);
+  EXPECT_TRUE(table.Insert(1, 100));
+  EXPECT_TRUE(table.Insert(2, 200));
+  EXPECT_EQ(table.Search(1).value(), 100u);
+  EXPECT_EQ(table.Search(2).value(), 200u);
+  EXPECT_FALSE(table.Search(3).has_value());
+  EXPECT_TRUE(table.Remove(1));
+  EXPECT_FALSE(table.Search(1).has_value());
+  EXPECT_FALSE(table.Remove(1));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(HopscotchTest, InsertOverwritesExistingKey) {
+  HopscotchTable table(64, 4);
+  EXPECT_TRUE(table.Insert(7, 1));
+  EXPECT_TRUE(table.Insert(7, 2));
+  EXPECT_EQ(table.Search(7).value(), 2u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(HopscotchTest, HoppingKeepsKeysFindable) {
+  // Small table with small H forces hops; all inserted keys must remain findable.
+  HopscotchTable table(32, 4);
+  common::Rng rng(11);
+  std::map<uint64_t, uint64_t> model;
+  uint64_t key = rng.Next();
+  while (table.Insert(key, key ^ 0xff)) {
+    model[key] = key ^ 0xff;
+    key = rng.Next();
+  }
+  EXPECT_GT(model.size(), 16u);
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(table.Search(k).has_value()) << "lost key after hopping";
+    EXPECT_EQ(table.Search(k).value(), v);
+  }
+  std::string why;
+  EXPECT_TRUE(table.CheckInvariants(&why)) << why;
+}
+
+TEST(HopscotchTest, InvariantsHoldUnderChurn) {
+  HopscotchTable table(64, 8);
+  common::Rng rng(13);
+  std::map<uint64_t, uint64_t> model;
+  for (int step = 0; step < 5000; ++step) {
+    const uint64_t k = rng.Uniform(200);
+    if (rng.NextDouble() < 0.6) {
+      if (table.Insert(k, step)) {
+        model[k] = static_cast<uint64_t>(step);
+      }
+    } else {
+      const bool removed = table.Remove(k);
+      EXPECT_EQ(removed, model.erase(k) > 0);
+    }
+  }
+  std::string why;
+  ASSERT_TRUE(table.CheckInvariants(&why)) << why;
+  EXPECT_EQ(table.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(table.Search(k).has_value());
+    EXPECT_EQ(table.Search(k).value(), v);
+  }
+}
+
+TEST(HopscotchTest, WrapAroundNeighborhoodWorks) {
+  // Keys homed near the end of the table must be able to occupy wrapped entries.
+  HopscotchTable table(16, 8);
+  common::Rng rng(17);
+  int inserted = 0;
+  uint64_t key = rng.Next();
+  while (table.Insert(key, key)) {
+    inserted++;
+    key = rng.Next();
+  }
+  EXPECT_GT(inserted, 12);  // decently full despite the tiny table
+  std::string why;
+  EXPECT_TRUE(table.CheckInvariants(&why)) << why;
+}
+
+// ---- Interface conformance across all schemes ---------------------------------------------
+
+struct SchemeParam {
+  std::string label;
+  std::function<std::unique_ptr<Scheme>()> make;
+};
+
+class SchemeConformanceTest : public ::testing::TestWithParam<SchemeParam> {};
+
+TEST_P(SchemeConformanceTest, ModelEquivalenceUnderRandomOps) {
+  auto table = GetParam().make();
+  common::Rng rng(23);
+  std::map<uint64_t, uint64_t> model;
+  for (int step = 0; step < 4000; ++step) {
+    const uint64_t k = rng.Uniform(64);
+    const double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      if (table->Insert(k, step)) {
+        model[k] = static_cast<uint64_t>(step);
+      }
+    } else if (dice < 0.75) {
+      const auto got = table->Search(k);
+      const auto it = model.find(k);
+      if (it == model.end()) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got.value(), it->second);
+      }
+    } else {
+      EXPECT_EQ(table->Remove(k), model.erase(k) > 0);
+    }
+  }
+  EXPECT_EQ(table->size(), model.size());
+}
+
+TEST_P(SchemeConformanceTest, SizeNeverExceedsCapacity) {
+  auto table = GetParam().make();
+  common::Rng rng(29);
+  uint64_t key = rng.Next();
+  while (table->Insert(key, key)) {
+    key = rng.Next();
+  }
+  EXPECT_LE(table->size(), table->capacity());
+  EXPECT_GT(table->size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeConformanceTest,
+    ::testing::Values(
+        SchemeParam{"hopscotch8", [] { return std::make_unique<HopscotchTable>(128, 8); }},
+        SchemeParam{"hopscotch2", [] { return std::make_unique<HopscotchTable>(128, 2); }},
+        SchemeParam{"associative4", [] { return std::make_unique<AssociativeTable>(128, 4); }},
+        SchemeParam{"associative1", [] { return std::make_unique<AssociativeTable>(128, 1); }},
+        SchemeParam{"race2", [] { return std::make_unique<RaceTable>(126, 2); }},
+        SchemeParam{"farm4", [] { return std::make_unique<FarmTable>(128, 4); }}),
+    [](const auto& param_info) { return param_info.param.label; });
+
+// ---- Load factor properties (the substance of Fig 3d) -------------------------------------
+
+TEST(LoadFactorTest, HopscotchLoadFactorGrowsWithNeighborhood) {
+  const double lf2 = MeasureMaxLoadFactor([] { return std::make_unique<HopscotchTable>(128, 2); });
+  const double lf8 = MeasureMaxLoadFactor([] { return std::make_unique<HopscotchTable>(128, 8); });
+  const double lf16 =
+      MeasureMaxLoadFactor([] { return std::make_unique<HopscotchTable>(128, 16); });
+  EXPECT_LT(lf2, lf8);
+  EXPECT_LT(lf8, lf16);
+  // Paper: H=8 gives ~90%, H=16 approaches ~99%.
+  EXPECT_GT(lf8, 0.80);
+  EXPECT_GT(lf16, 0.95);
+}
+
+TEST(LoadFactorTest, AssociativeLoadFactorGrowsWithBucketSize) {
+  const double lf1 =
+      MeasureMaxLoadFactor([] { return std::make_unique<AssociativeTable>(128, 1); });
+  const double lf8 =
+      MeasureMaxLoadFactor([] { return std::make_unique<AssociativeTable>(128, 8); });
+  EXPECT_LT(lf1, lf8);
+}
+
+TEST(LoadFactorTest, HopscotchBeatsAssociativeAtSameAmplification) {
+  // The headline of Fig 3d: at equal amplification factor, hopscotch achieves the best
+  // space efficiency.
+  for (int width : {2, 4, 8}) {
+    const double hop = MeasureMaxLoadFactor(
+        [width] { return std::make_unique<HopscotchTable>(128, width); });
+    const double assoc = MeasureMaxLoadFactor(
+        [width] { return std::make_unique<AssociativeTable>(128, width); });
+    EXPECT_GT(hop, assoc) << "amplification factor " << width;
+  }
+}
+
+TEST(LoadFactorTest, AmplificationFactorsMatchPaperFormulas) {
+  EXPECT_EQ(HopscotchTable(128, 8).AmplificationFactor(), 8);
+  EXPECT_EQ(AssociativeTable(128, 4).AmplificationFactor(), 4);
+  EXPECT_EQ(RaceTable(126, 2).AmplificationFactor(), 8);   // 4x bucket size
+  EXPECT_EQ(FarmTable(128, 4).AmplificationFactor(), 8);   // 2x bucket size
+}
+
+}  // namespace
+}  // namespace hashscheme

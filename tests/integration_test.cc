@@ -1,0 +1,255 @@
+// Cross-module integration tests: deep trees, multi-memory-node pools, the throughput model
+// fed by real runs, and end-to-end workload pipelines over every index.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/chime_index.h"
+#include "src/baselines/rolex.h"
+#include "src/baselines/sherman.h"
+#include "src/baselines/smart.h"
+#include "src/common/rand.h"
+#include "src/ycsb/runner.h"
+
+namespace {
+
+dmsim::SimConfig Config(int mns) {
+  dmsim::SimConfig cfg;
+  cfg.num_memory_nodes = mns;
+  cfg.region_bytes_per_mn = 256ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  return cfg;
+}
+
+TEST(DeepTreeTest, FourLevelTreeStaysCorrect) {
+  // Tiny spans force a tall tree: recursive internal splits and root growth.
+  dmsim::MemoryPool pool(Config(1));
+  chime::ChimeOptions opts;
+  opts.span = 8;
+  opts.neighborhood = 4;
+  chime::ChimeTree tree(&pool, opts);
+  dmsim::Client client(&pool, 0);
+  constexpr common::Key kN = 20000;
+  for (common::Key k = 1; k <= kN; ++k) {
+    tree.Insert(client, k, k + 7);
+  }
+  EXPECT_GE(tree.height(), 4);
+  common::Value v = 0;
+  for (common::Key k = 1; k <= kN; k += 11) {
+    ASSERT_TRUE(tree.Search(client, k, &v)) << k;
+    EXPECT_EQ(v, k + 7);
+  }
+  std::string why;
+  EXPECT_TRUE(tree.ValidateStructure(client, &why)) << why;
+}
+
+TEST(DeepTreeTest, ConcurrentGrowthAcrossLevels) {
+  dmsim::MemoryPool pool(Config(1));
+  chime::ChimeOptions opts;
+  opts.span = 8;
+  opts.neighborhood = 4;
+  chime::ChimeTree tree(&pool, opts);
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 6;
+  constexpr common::Key kPer = 3000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(&pool, t);
+      common::Rng rng(static_cast<uint64_t>(t) + 42);
+      for (common::Key i = 1; i <= kPer; ++i) {
+        tree.Insert(client, common::Mix64(static_cast<common::Key>(t) * kPer + i) | 1,
+                    static_cast<common::Value>(t));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  dmsim::Client client(&pool, 99);
+  EXPECT_EQ(tree.DumpAll(client).size(), static_cast<size_t>(kThreads) * kPer);
+  std::string why;
+  EXPECT_TRUE(tree.ValidateStructure(client, &why)) << why;
+}
+
+TEST(MultiMemoryNodeTest, ChunksSpreadAndOpsWork) {
+  dmsim::MemoryPool pool(Config(4));
+  chime::ChimeTree tree(&pool, chime::ChimeOptions{});
+  dmsim::Client client(&pool, 0);
+  for (common::Key k = 1; k <= 20000; ++k) {
+    tree.Insert(client, k, k);
+  }
+  common::Value v = 0;
+  for (common::Key k = 1; k <= 20000; k += 37) {
+    ASSERT_TRUE(tree.Search(client, k, &v));
+  }
+  // Nodes landed on more than one MN.
+  int mns_used = 0;
+  for (uint16_t id = 1; id <= 4; ++id) {
+    mns_used += pool.node(id).bytes_allocated() > (1 << 20) ? 1 : 0;
+  }
+  EXPECT_GE(mns_used, 2);
+}
+
+TEST(MultiMemoryNodeTest, TenMnBandwidthBoundScalesInModel) {
+  // The same measured demand yields ~10x higher bandwidth-bound throughput with 10 MNs.
+  auto run_with = [](int mns) {
+    dmsim::MemoryPool pool(Config(mns));
+    baselines::ShermanTree index(&pool, baselines::ShermanOptions{});
+    ycsb::RunnerOptions opts;
+    opts.num_items = 20000;
+    opts.num_ops = 10000;
+    opts.threads = 2;
+    const ycsb::RunResult run =
+        ycsb::RunWorkload(&index, &pool, ycsb::WorkloadC(), opts);
+    return ycsb::Model(run, Config(mns), 10, 100000).throughput_mops;
+  };
+  const double x1 = run_with(1);
+  const double x10 = run_with(10);
+  EXPECT_GT(x10, x1 * 5);
+}
+
+TEST(WorkloadPipelineTest, EveryIndexSurvivesEveryWorkload) {
+  const std::vector<ycsb::WorkloadMix> mixes = {ycsb::WorkloadA(), ycsb::WorkloadB(),
+                                                ycsb::WorkloadC(), ycsb::WorkloadD(),
+                                                ycsb::WorkloadE()};
+  for (int which = 0; which < 4; ++which) {
+    for (const auto& mix : mixes) {
+      dmsim::MemoryPool pool(Config(1));
+      std::unique_ptr<baselines::RangeIndex> index;
+      switch (which) {
+        case 0:
+          index = std::make_unique<baselines::ChimeIndex>(&pool, chime::ChimeOptions{});
+          break;
+        case 1:
+          index = std::make_unique<baselines::ShermanTree>(&pool,
+                                                           baselines::ShermanOptions{});
+          break;
+        case 2:
+          index = std::make_unique<baselines::SmartTree>(&pool, baselines::SmartOptions{});
+          break;
+        default:
+          index = std::make_unique<baselines::RolexIndex>(&pool, baselines::RolexOptions{});
+          break;
+      }
+      ycsb::RunnerOptions opts;
+      opts.num_items = 5000;
+      opts.num_ops = 4000;
+      opts.threads = 2;
+      const ycsb::RunResult run = ycsb::RunWorkload(index.get(), &pool, mix, opts);
+      const dmsim::OpTypeStats d = run.stats.Combined();
+      EXPECT_GT(d.ops, 0u) << index->name() << " on YCSB " << mix.name;
+      EXPECT_GT(d.AvgRtts(), 0.0) << index->name() << " on YCSB " << mix.name;
+    }
+  }
+}
+
+TEST(ThroughputModelIntegrationTest, BottleneckShiftsWithDemandShape) {
+  // Small reads (SMART-like) must bind on IOPS; big reads (Sherman-like) on bandwidth — the
+  // core mechanism behind the paper's Fig 3b/3c crossover.
+  dmsim::MemoryPool pool(Config(1));
+  dmsim::Client client(&pool, 0);
+  client.BeginOp();
+  common::GlobalAddress base = client.Alloc(1 << 16, 64);
+  client.AbortOp();
+  std::vector<uint8_t> buf(4096);
+
+  dmsim::Client small_reads(&pool, 1);
+  for (int i = 0; i < 2000; ++i) {
+    small_reads.BeginOp();
+    small_reads.Read(base, buf.data(), 16);
+    small_reads.EndOp(dmsim::OpType::kSearch);
+  }
+  dmsim::Client big_reads(&pool, 2);
+  for (int i = 0; i < 2000; ++i) {
+    big_reads.BeginOp();
+    big_reads.Read(base, buf.data(), 1500);
+    big_reads.EndOp(dmsim::OpType::kSearch);
+  }
+  dmsim::ThroughputModel model(Config(1), 10);
+  EXPECT_EQ(model.Evaluate(small_reads.stats().Combined(), 100000).bottleneck, "mn-iops");
+  EXPECT_EQ(model.Evaluate(big_reads.stats().Combined(), 100000).bottleneck,
+            "mn-bandwidth-out");
+}
+
+TEST(ShermanConcurrencyTest, DeletesAndInsertsRace) {
+  dmsim::MemoryPool pool(Config(1));
+  baselines::ShermanTree tree(&pool, baselines::ShermanOptions{});
+  dmsim::Client setup(&pool, 0);
+  for (common::Key k = 1; k <= 4000; ++k) {
+    tree.Insert(setup, k, k);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(&pool, t + 1);
+      // Each thread owns keys k % 4 == t: serialized per key.
+      for (common::Key k = static_cast<common::Key>(t) + 1; k <= 4000; k += 4) {
+        tree.Delete(client, k);
+        tree.Insert(client, k, k * 2);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  dmsim::Client check(&pool, 9);
+  common::Value v = 0;
+  for (common::Key k = 1; k <= 4000; k += 7) {
+    ASSERT_TRUE(tree.Search(check, k, &v)) << k;
+    EXPECT_EQ(v, k * 2);
+  }
+}
+
+TEST(RolexChurnTest, OverflowChainsSurviveHeavyInserts) {
+  dmsim::MemoryPool pool(Config(1));
+  baselines::RolexIndex rolex(&pool, baselines::RolexOptions{});
+  dmsim::Client client(&pool, 0);
+  std::vector<std::pair<common::Key, common::Value>> items;
+  for (common::Key k = 1; k <= 2000; ++k) {
+    items.emplace_back(k * 1000, k);
+  }
+  rolex.BulkLoad(client, items);
+  // Cluster inserts around a few predicted groups.
+  std::map<common::Key, common::Value> extra;
+  common::Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const common::Key k = 500000 + rng.Uniform(3000);
+    rolex.Insert(client, k, k + 1);
+    extra[k] = k + 1;
+  }
+  common::Value v = 0;
+  for (const auto& [k, want] : extra) {
+    ASSERT_TRUE(rolex.Search(client, k, &v)) << k;
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST(SmartDeepTest, LongCommonPrefixesAndGrowth) {
+  dmsim::MemoryPool pool(Config(1));
+  baselines::SmartTree smart(&pool, baselines::SmartOptions{});
+  dmsim::Client client(&pool, 0);
+  // 300 keys under one deep prefix force Node16 -> Node256 growth at depth 6.
+  std::map<common::Key, common::Value> model;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const common::Key k = 0xAABBCCDDEE000000ULL | (i << 4) | 1;
+    smart.Insert(client, k, i);
+    model[k] = i;
+  }
+  common::Value v = 0;
+  for (const auto& [k, want] : model) {
+    ASSERT_TRUE(smart.Search(client, k, &v)) << std::hex << k;
+    EXPECT_EQ(v, want);
+  }
+  std::vector<std::pair<common::Key, common::Value>> out;
+  smart.Scan(client, 0xAABBCCDDEE000000ULL, 50, &out);
+  ASSERT_EQ(out.size(), 50u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+  }
+}
+
+}  // namespace

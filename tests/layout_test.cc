@@ -1,0 +1,248 @@
+// Unit tests for the node layouts and the two-level cache-line version codec (paper §4.1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/layout.h"
+#include "src/core/options.h"
+
+namespace chime {
+namespace {
+
+TEST(CellCodecTest, SmallCellFitsInLine) {
+  CellSpec spec = CellCodec::Place(10, 18);
+  EXPECT_EQ(spec.offset, 10u);
+  EXPECT_EQ(spec.total_len, 19u);  // 1 version byte + 18 data
+}
+
+TEST(CellCodecTest, CellBumpedToNextLineWhenItWouldStraddle) {
+  // 60 bytes of data cannot fit at offset 10 of a 64-byte line.
+  CellSpec spec = CellCodec::Place(10, 60);
+  EXPECT_EQ(spec.offset, 64u);
+  EXPECT_EQ(spec.total_len, 61u);
+}
+
+TEST(CellCodecTest, MultiLineCellGetsVersionBytePerLine) {
+  CellSpec spec = CellCodec::Place(0, 130);  // needs ceil(130/63) = 3 lines
+  EXPECT_EQ(spec.offset, 0u);
+  EXPECT_EQ(spec.total_len, 133u);
+  std::vector<uint32_t> vers;
+  CellCodec::VersionOffsets(spec, &vers);
+  ASSERT_EQ(vers.size(), 3u);
+  EXPECT_EQ(vers[0], 0u);
+  EXPECT_EQ(vers[1], 64u);
+  EXPECT_EQ(vers[2], 128u);
+}
+
+TEST(CellCodecTest, StoreLoadRoundTrip) {
+  CellSpec spec = CellCodec::Place(0, 100);
+  std::vector<uint8_t> buf(spec.end());
+  std::vector<uint8_t> data(100);
+  for (int i = 0; i < 100; ++i) {
+    data[static_cast<size_t>(i)] = static_cast<uint8_t>(i * 7);
+  }
+  CellCodec::Store(buf.data(), spec, data.data(), PackVersion(3, 5));
+  std::vector<uint8_t> out(100);
+  uint8_t ver = 0;
+  EXPECT_TRUE(CellCodec::Load(buf.data(), spec, out.data(), &ver));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(VersionNv(ver), 3);
+  EXPECT_EQ(VersionEv(ver), 5);
+}
+
+TEST(CellCodecTest, LoadDetectsTornVersions) {
+  CellSpec spec = CellCodec::Place(0, 100);  // 2 lines, 2 version bytes
+  std::vector<uint8_t> buf(spec.end());
+  std::vector<uint8_t> data(100, 0xAB);
+  CellCodec::Store(buf.data(), spec, data.data(), PackVersion(1, 1));
+  buf[64] = PackVersion(1, 2);  // corrupt the second line's EV
+  uint8_t ver = 0;
+  EXPECT_FALSE(CellCodec::Load(buf.data(), spec, data.data(), &ver));
+}
+
+TEST(CellCodecTest, SetVersionTouchesOnlyVersionBytes) {
+  CellSpec spec = CellCodec::Place(0, 100);
+  std::vector<uint8_t> buf(spec.end());
+  std::vector<uint8_t> data(100, 0x5A);
+  CellCodec::Store(buf.data(), spec, data.data(), PackVersion(0, 0));
+  CellCodec::SetVersion(buf.data(), spec, PackVersion(7, 7));
+  std::vector<uint8_t> out(100);
+  uint8_t ver = 0;
+  EXPECT_TRUE(CellCodec::Load(buf.data(), spec, out.data(), &ver));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(VersionNv(ver), 7);
+}
+
+TEST(VersionTest, PackUnpack) {
+  const uint8_t v = PackVersion(0xA, 0x5);
+  EXPECT_EQ(VersionNv(v), 0xA);
+  EXPECT_EQ(VersionEv(v), 0x5);
+}
+
+TEST(LeafLockTest, PackedFieldsRoundTrip) {
+  const uint64_t w = LeafLock::Pack(true, 123, 0x1234567ULL);
+  EXPECT_TRUE(LeafLock::Locked(w));
+  EXPECT_EQ(LeafLock::Argmax(w), 123u);
+  EXPECT_EQ(LeafLock::Vacancy(w), 0x1234567ULL);
+  const uint64_t u = LeafLock::Pack(false, LeafLock::kArgmaxUnknown, ~uint64_t{0});
+  EXPECT_FALSE(LeafLock::Locked(u));
+  EXPECT_EQ(LeafLock::Argmax(u), LeafLock::kArgmaxUnknown);
+}
+
+TEST(LeafLayoutTest, OffsetsAreDisjointAndOrdered) {
+  ChimeOptions opts;
+  LeafLayout layout(opts);
+  uint32_t prev_end = 0;
+  for (int g = 0; g < layout.groups(); ++g) {
+    const CellSpec& r = layout.replica_cell(g);
+    EXPECT_GE(r.offset, prev_end);
+    prev_end = r.end();
+    for (int i = g * layout.h(); i < (g + 1) * layout.h(); ++i) {
+      const CellSpec& e = layout.entry_cell(i);
+      EXPECT_GE(e.offset, prev_end);
+      prev_end = e.end();
+    }
+  }
+  EXPECT_GE(layout.lock_offset(), prev_end);
+  EXPECT_EQ(layout.lock_offset() % 8, 0u);
+  EXPECT_EQ(layout.node_bytes(), layout.lock_offset() + 8);
+}
+
+TEST(LeafLayoutTest, EntryEncodeDecodeRoundTrip) {
+  ChimeOptions opts;
+  LeafLayout layout(opts);
+  LeafEntry e;
+  e.used = true;
+  e.hop_bitmap = 0xBEEF;
+  e.key = 0x1122334455667788ULL;
+  e.value = 42;
+  std::vector<uint8_t> data(layout.entry_data_len());
+  layout.EncodeEntry(e, data.data());
+  LeafEntry d = layout.DecodeEntry(data.data());
+  EXPECT_TRUE(d.used);
+  EXPECT_EQ(d.hop_bitmap, 0xBEEF);
+  EXPECT_EQ(d.key, e.key);
+  EXPECT_EQ(d.value, 42u);
+}
+
+TEST(LeafLayoutTest, EmptyEntryDecodesAsUnused) {
+  ChimeOptions opts;
+  LeafLayout layout(opts);
+  std::vector<uint8_t> data(layout.entry_data_len(), 0);
+  EXPECT_FALSE(layout.DecodeEntry(data.data()).used);
+}
+
+TEST(LeafLayoutTest, MetaRoundTripSiblingMode) {
+  ChimeOptions opts;  // sibling_validation default on: no fence keys in the replica
+  LeafLayout layout(opts);
+  EXPECT_EQ(layout.meta_data_len(), 9u);  // valid + sibling
+  LeafMeta m;
+  m.valid = true;
+  m.sibling = common::GlobalAddress(2, 0x1000);
+  std::vector<uint8_t> data(layout.meta_data_len());
+  layout.EncodeMeta(m, data.data());
+  LeafMeta d = layout.DecodeMeta(data.data());
+  EXPECT_TRUE(d.valid);
+  EXPECT_EQ(d.sibling, m.sibling);
+}
+
+TEST(LeafLayoutTest, FenceModeGrowsReplicaWithKeySize) {
+  ChimeOptions opts;
+  opts.sibling_validation = false;
+  opts.key_bytes = 32;
+  LeafLayout layout(opts);
+  EXPECT_EQ(layout.meta_data_len(), 9u + 64u);
+  LeafMeta m;
+  m.fence_lo = 5;
+  m.fence_hi = 500;
+  m.sibling = common::GlobalAddress(1, 64);
+  std::vector<uint8_t> data(layout.meta_data_len());
+  layout.EncodeMeta(m, data.data());
+  LeafMeta d = layout.DecodeMeta(data.data());
+  EXPECT_EQ(d.fence_lo, 5u);
+  EXPECT_EQ(d.fence_hi, 500u);
+}
+
+TEST(LeafLayoutTest, SiblingValidationShrinksMetadata) {
+  for (int kb : {8, 32, 128, 256}) {
+    ChimeOptions with_sv;
+    with_sv.key_bytes = kb;
+    ChimeOptions with_fences = with_sv;
+    with_fences.sibling_validation = false;
+    LeafLayout a(with_sv);
+    LeafLayout b(with_fences);
+    EXPECT_LT(a.replica_metadata_bytes_per_node(), b.replica_metadata_bytes_per_node())
+        << "key size " << kb;
+    EXPECT_LE(a.metadata_bytes_per_node(), b.metadata_bytes_per_node()) << "key size " << kb;
+  }
+}
+
+TEST(LeafLayoutTest, VacancyGroupsCoverAllEntries) {
+  for (int span : {16, 64, 128, 512}) {
+    ChimeOptions opts;
+    opts.span = span;
+    opts.neighborhood = 8;
+    LeafLayout layout(opts);
+    EXPECT_LE(layout.vacancy_groups(), static_cast<int>(LeafLock::kVacancyBits));
+    int covered = 0;
+    for (int g = 0; g < layout.vacancy_groups(); ++g) {
+      covered += layout.VacancyGroupEnd(g) - layout.VacancyGroupStart(g) + 1;
+    }
+    EXPECT_EQ(covered, span);
+  }
+}
+
+TEST(LeafLayoutTest, LargeInlineValuesProduceMultiLineEntries) {
+  ChimeOptions opts;
+  opts.value_bytes = 512;
+  LeafLayout layout(opts);
+  const CellSpec& e = layout.entry_cell(0);
+  std::vector<uint32_t> vers;
+  CellCodec::VersionOffsets(e, &vers);
+  EXPECT_GT(vers.size(), 1u);  // cache-line versions inside the big entry
+}
+
+TEST(InternalLayoutTest, NodeEncodeDecodeRoundTrip) {
+  ChimeOptions opts;
+  InternalLayout layout(opts);
+  InternalHeader h;
+  h.level = 3;
+  h.valid = true;
+  h.fence_lo = 100;
+  h.fence_hi = 900;
+  h.sibling = common::GlobalAddress(1, 4096);
+  std::vector<InternalEntry> entries;
+  for (int i = 0; i < 10; ++i) {
+    entries.push_back({static_cast<common::Key>(100 + i * 80),
+                       common::GlobalAddress(1, static_cast<uint64_t>(i + 1) * 128)});
+  }
+  std::vector<uint8_t> image;
+  layout.EncodeNode(h, entries, /*nv=*/4, &image);
+  InternalHeader dh;
+  std::vector<InternalEntry> de;
+  ASSERT_TRUE(layout.DecodeNode(image.data(), &dh, &de));
+  EXPECT_EQ(dh.level, 3);
+  EXPECT_EQ(dh.fence_lo, 100u);
+  EXPECT_EQ(dh.fence_hi, 900u);
+  EXPECT_EQ(dh.count, 10);
+  ASSERT_EQ(de.size(), 10u);
+  EXPECT_EQ(de[3].pivot, 340u);
+  EXPECT_EQ(de[9].child.offset, 1280u);
+}
+
+TEST(InternalLayoutTest, DecodeRejectsTornNv) {
+  ChimeOptions opts;
+  InternalLayout layout(opts);
+  InternalHeader h;
+  std::vector<InternalEntry> entries{{1, common::GlobalAddress(1, 64)}};
+  std::vector<uint8_t> image;
+  layout.EncodeNode(h, entries, 2, &image);
+  // Corrupt the NV of the first entry cell.
+  image[layout.entry_cell(0).offset] = PackVersion(9, 0);
+  InternalHeader dh;
+  std::vector<InternalEntry> de;
+  EXPECT_FALSE(layout.DecodeNode(image.data(), &dh, &de));
+}
+
+}  // namespace
+}  // namespace chime

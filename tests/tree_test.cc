@@ -1,0 +1,517 @@
+// Functional and concurrency tests for the CHIME tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/core/tree.h"
+#include "src/dmsim/pool.h"
+
+namespace chime {
+namespace {
+
+dmsim::SimConfig TestConfig() {
+  dmsim::SimConfig cfg;
+  cfg.num_memory_nodes = 1;
+  cfg.region_bytes_per_mn = 256ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  return cfg;
+}
+
+class TreeTest : public ::testing::Test {
+ protected:
+  void Build(const ChimeOptions& opts) {
+    pool_ = std::make_unique<dmsim::MemoryPool>(TestConfig());
+    tree_ = std::make_unique<ChimeTree>(pool_.get(), opts);
+    client_ = std::make_unique<dmsim::Client>(pool_.get(), 0);
+  }
+
+  void SetUp() override { Build(ChimeOptions{}); }
+
+  std::unique_ptr<dmsim::MemoryPool> pool_;
+  std::unique_ptr<ChimeTree> tree_;
+  std::unique_ptr<dmsim::Client> client_;
+};
+
+TEST_F(TreeTest, EmptyTreeSearchMisses) {
+  common::Value v = 0;
+  EXPECT_FALSE(tree_->Search(*client_, 42, &v));
+}
+
+TEST_F(TreeTest, InsertThenSearch) {
+  tree_->Insert(*client_, 42, 4200);
+  common::Value v = 0;
+  ASSERT_TRUE(tree_->Search(*client_, 42, &v));
+  EXPECT_EQ(v, 4200u);
+  EXPECT_FALSE(tree_->Search(*client_, 43, &v));
+}
+
+TEST_F(TreeTest, InsertIsUpsert) {
+  tree_->Insert(*client_, 7, 1);
+  tree_->Insert(*client_, 7, 2);
+  common::Value v = 0;
+  ASSERT_TRUE(tree_->Search(*client_, 7, &v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST_F(TreeTest, UpdateExistingAndMissing) {
+  tree_->Insert(*client_, 10, 100);
+  EXPECT_TRUE(tree_->Update(*client_, 10, 200));
+  common::Value v = 0;
+  ASSERT_TRUE(tree_->Search(*client_, 10, &v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_FALSE(tree_->Update(*client_, 11, 1));
+}
+
+TEST_F(TreeTest, DeleteExistingAndMissing) {
+  tree_->Insert(*client_, 10, 100);
+  EXPECT_TRUE(tree_->Delete(*client_, 10));
+  common::Value v = 0;
+  EXPECT_FALSE(tree_->Search(*client_, 10, &v));
+  EXPECT_FALSE(tree_->Delete(*client_, 10));
+}
+
+TEST_F(TreeTest, ReinsertAfterDelete) {
+  tree_->Insert(*client_, 5, 50);
+  EXPECT_TRUE(tree_->Delete(*client_, 5));
+  tree_->Insert(*client_, 5, 51);
+  common::Value v = 0;
+  ASSERT_TRUE(tree_->Search(*client_, 5, &v));
+  EXPECT_EQ(v, 51u);
+}
+
+TEST_F(TreeTest, ManySequentialKeysForceSplits) {
+  constexpr common::Key kN = 5000;
+  for (common::Key k = 1; k <= kN; ++k) {
+    tree_->Insert(*client_, k, k * 10);
+  }
+  EXPECT_GE(tree_->height(), 2);
+  for (common::Key k = 1; k <= kN; ++k) {
+    common::Value v = 0;
+    ASSERT_TRUE(tree_->Search(*client_, k, &v)) << "key " << k;
+    EXPECT_EQ(v, k * 10);
+  }
+  common::Value v = 0;
+  EXPECT_FALSE(tree_->Search(*client_, kN + 1, &v));
+}
+
+TEST_F(TreeTest, ManyRandomKeys) {
+  common::Rng rng(99);
+  std::map<common::Key, common::Value> model;
+  for (int i = 0; i < 5000; ++i) {
+    const common::Key k = rng.Range(1, 1u << 30);
+    model[k] = static_cast<common::Value>(i);
+    tree_->Insert(*client_, k, static_cast<common::Value>(i));
+  }
+  for (const auto& [k, want] : model) {
+    common::Value v = 0;
+    ASSERT_TRUE(tree_->Search(*client_, k, &v)) << "key " << k;
+    EXPECT_EQ(v, want);
+  }
+  // DumpAll must agree with the model exactly.
+  auto all = tree_->DumpAll(*client_);
+  ASSERT_EQ(all.size(), model.size());
+  auto it = model.begin();
+  for (const auto& [k, v] : all) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST_F(TreeTest, MixedChurnMatchesModel) {
+  common::Rng rng(7);
+  std::map<common::Key, common::Value> model;
+  for (int step = 0; step < 20000; ++step) {
+    const common::Key k = rng.Range(1, 3000);
+    const double dice = rng.NextDouble();
+    if (dice < 0.45) {
+      tree_->Insert(*client_, k, static_cast<common::Value>(step));
+      model[k] = static_cast<common::Value>(step);
+    } else if (dice < 0.65) {
+      const bool got = tree_->Update(*client_, k, static_cast<common::Value>(step + 1));
+      if (model.count(k)) {
+        ASSERT_TRUE(got);
+        model[k] = static_cast<common::Value>(step + 1);
+      } else {
+        ASSERT_FALSE(got);
+      }
+    } else if (dice < 0.8) {
+      const bool got = tree_->Delete(*client_, k);
+      ASSERT_EQ(got, model.erase(k) > 0) << "key " << k;
+    } else {
+      common::Value v = 0;
+      const bool got = tree_->Search(*client_, k, &v);
+      auto mit = model.find(k);
+      ASSERT_EQ(got, mit != model.end()) << "key " << k;
+      if (got) {
+        EXPECT_EQ(v, mit->second);
+      }
+    }
+  }
+}
+
+TEST_F(TreeTest, ScanReturnsSortedRange) {
+  for (common::Key k = 1; k <= 2000; ++k) {
+    tree_->Insert(*client_, k * 3, k);  // keys 3, 6, ..., 6000
+  }
+  std::vector<std::pair<common::Key, common::Value>> out;
+  const size_t got = tree_->Scan(*client_, 300, 100, &out);
+  ASSERT_EQ(got, 100u);
+  EXPECT_EQ(out.front().first, 300u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+    EXPECT_EQ(out[i].first, 300 + 3 * i);
+  }
+}
+
+TEST_F(TreeTest, ScanPastEndTruncates) {
+  for (common::Key k = 1; k <= 50; ++k) {
+    tree_->Insert(*client_, k, k);
+  }
+  std::vector<std::pair<common::Key, common::Value>> out;
+  EXPECT_EQ(tree_->Scan(*client_, 40, 100, &out), 11u);  // 40..50
+  EXPECT_EQ(out.back().first, 50u);
+}
+
+TEST_F(TreeTest, SearchBestCaseRttsMatchTable1) {
+  for (common::Key k = 1; k <= 2000; ++k) {
+    tree_->Insert(*client_, k, k);
+  }
+  // Warm the cache, then measure.
+  common::Value v;
+  for (common::Key k = 1; k <= 2000; ++k) {
+    tree_->Search(*client_, k, &v);
+  }
+  dmsim::Client probe(pool_.get(), 1);
+  for (common::Key k = 1; k <= 100; ++k) {
+    tree_->Search(probe, k * 7, &v);
+  }
+  const auto& s = probe.stats().For(dmsim::OpType::kSearch);
+  // Paper Table 1: best-case search = 1 or 2 RTTs (internal nodes cached).
+  EXPECT_LE(s.min_rtts_per_op, 2u);
+}
+
+// ---- Option sweeps (parameterized) ----------------------------------------------------------
+
+struct TreeParam {
+  std::string label;
+  ChimeOptions opts;
+};
+
+class TreeParamTest : public ::testing::TestWithParam<TreeParam> {};
+
+TEST_P(TreeParamTest, InsertSearchDeleteAcrossConfigs) {
+  dmsim::MemoryPool pool(TestConfig());
+  ChimeTree tree(&pool, GetParam().opts);
+  dmsim::Client client(&pool, 0);
+  common::Rng rng(123);
+  std::map<common::Key, common::Value> model;
+  for (int i = 0; i < 3000; ++i) {
+    const common::Key k = rng.Range(1, 100000);
+    tree.Insert(client, k, k ^ 0xDEAD);
+    model[k] = k ^ 0xDEAD;
+  }
+  for (const auto& [k, want] : model) {
+    common::Value v = 0;
+    ASSERT_TRUE(tree.Search(client, k, &v)) << GetParam().label << " key " << k;
+    EXPECT_EQ(v, want);
+  }
+  // Delete a third and re-verify.
+  int n = 0;
+  for (auto it = model.begin(); it != model.end();) {
+    if (++n % 3 == 0) {
+      EXPECT_TRUE(tree.Delete(client, it->first));
+      it = model.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [k, want] : model) {
+    common::Value v = 0;
+    ASSERT_TRUE(tree.Search(client, k, &v)) << GetParam().label << " key " << k;
+  }
+}
+
+TreeParam MakeParam(const std::string& label, int span, int h, bool sibling, bool spec,
+                    bool piggy, bool repl, bool indirect) {
+  TreeParam p;
+  p.label = label;
+  p.opts.span = span;
+  p.opts.neighborhood = h;
+  p.opts.sibling_validation = sibling;
+  p.opts.speculative_read = spec;
+  p.opts.vacancy_piggyback = piggy;
+  p.opts.metadata_replication = repl;
+  p.opts.indirect_values = indirect;
+  return p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TreeParamTest,
+    ::testing::Values(
+        MakeParam("default", 64, 8, true, true, true, true, false),
+        MakeParam("h2", 64, 2, true, true, true, true, false),
+        MakeParam("h16", 64, 16, true, true, true, true, false),
+        MakeParam("span8_h8", 8, 8, true, true, true, true, false),
+        MakeParam("span16", 16, 8, true, true, true, true, false),
+        MakeParam("span256", 256, 8, true, true, true, true, false),
+        MakeParam("fence_keys", 64, 8, false, true, true, true, false),
+        MakeParam("no_spec", 64, 8, true, false, true, true, false),
+        MakeParam("no_piggyback", 64, 8, true, true, false, true, false),
+        MakeParam("no_replication", 64, 8, true, true, true, false, false),
+        MakeParam("indirect", 64, 8, true, true, true, true, true)),
+    [](const auto& param_info) { return param_info.param.label; });
+
+// ---- Concurrency ------------------------------------------------------------------------------
+
+TEST(TreeConcurrencyTest, DisjointInsertersThenVerify) {
+  dmsim::MemoryPool pool(TestConfig());
+  ChimeTree tree(&pool, ChimeOptions{});
+  constexpr int kThreads = 8;
+  constexpr common::Key kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(&pool, t);
+      for (common::Key i = 1; i <= kPerThread; ++i) {
+        const common::Key k = static_cast<common::Key>(t) * kPerThread + i;
+        tree.Insert(client, k, k * 2);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  dmsim::Client client(&pool, 100);
+  for (common::Key k = 1; k <= kThreads * kPerThread; ++k) {
+    common::Value v = 0;
+    ASSERT_TRUE(tree.Search(client, k, &v)) << "key " << k;
+    EXPECT_EQ(v, k * 2);
+  }
+  auto all = tree.DumpAll(client);
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(TreeConcurrencyTest, ContendedSameRangeInserts) {
+  dmsim::MemoryPool pool(TestConfig());
+  ChimeTree tree(&pool, ChimeOptions{});
+  constexpr int kThreads = 8;
+  constexpr common::Key kKeys = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(&pool, t);
+      common::Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 3000; ++i) {
+        const common::Key k = rng.Range(1, kKeys);
+        tree.Insert(client, k, k + 1000000);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  dmsim::Client client(&pool, 100);
+  auto all = tree.DumpAll(client);
+  std::set<common::Key> seen;
+  for (const auto& [k, v] : all) {
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate key " << k;
+    EXPECT_EQ(v, k + 1000000);
+  }
+}
+
+TEST(TreeConcurrencyTest, ReadersNeverSeeTornValues) {
+  dmsim::MemoryPool pool(TestConfig());
+  ChimeTree tree(&pool, ChimeOptions{});
+  dmsim::Client setup(&pool, 0);
+  constexpr common::Key kKeys = 512;
+  for (common::Key k = 1; k <= kKeys; ++k) {
+    tree.Insert(setup, k, k << 32 | k);  // value encodes the key twice
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {  // writers: update with consistent encodings
+      dmsim::Client client(&pool, t + 1);
+      common::Rng rng(static_cast<uint64_t>(t) + 77);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const common::Key k = rng.Range(1, kKeys);
+        tree.Update(client, k, k << 32 | k);
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {  // readers: every observed value must be self-consistent
+      dmsim::Client client(&pool, t + 10);
+      common::Rng rng(static_cast<uint64_t>(t) + 99);
+      for (int i = 0; i < 5000; ++i) {
+        const common::Key k = rng.Range(1, kKeys);
+        common::Value v = 0;
+        if (tree.Search(client, k, &v)) {
+          if ((v >> 32) != k || (v & 0xFFFFFFFF) != k) {
+            bad.fetch_add(1);
+          }
+        } else {
+          bad.fetch_add(1);  // keys are never deleted: a miss is a lost key
+        }
+      }
+    });
+  }
+  for (size_t i = 4; i < threads.size(); ++i) {
+    threads[i].join();
+  }
+  stop.store(true);
+  for (size_t i = 0; i < 4; ++i) {
+    threads[i].join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(TreeConcurrencyTest, MixedWorkloadWithSplitsUnderContention) {
+  dmsim::MemoryPool pool(TestConfig());
+  ChimeOptions opts;
+  opts.span = 16;  // small nodes: many splits
+  opts.neighborhood = 4;
+  ChimeTree tree(&pool, opts);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(&pool, t);
+      common::Rng rng(static_cast<uint64_t>(t) * 31 + 5);
+      for (int i = 0; i < 2000; ++i) {
+        const common::Key k = rng.Range(1, 20000);
+        const double dice = rng.NextDouble();
+        if (dice < 0.5) {
+          tree.Insert(client, k, k * 7);
+        } else if (dice < 0.75) {
+          common::Value v = 0;
+          if (tree.Search(client, k, &v) && v != k * 7) {
+            errors.fetch_add(1);
+          }
+        } else {
+          std::vector<std::pair<common::Key, common::Value>> out;
+          tree.Scan(client, k, 20, &out);
+          for (const auto& [sk, sv] : out) {
+            if (sv != sk * 7 || sk < k) {
+              errors.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(TreeConcurrencyTest, InsertDeleteChurnKeepsStructureConsistent) {
+  dmsim::MemoryPool pool(TestConfig());
+  ChimeTree tree(&pool, ChimeOptions{});
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  // Each thread owns a key stripe (k % kThreads == t) so per-key operations are serialized
+  // and the final state is predictable.
+  std::vector<std::vector<uint8_t>> present(kThreads,
+                                            std::vector<uint8_t>(4000, 0));
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(&pool, t);
+      common::Rng rng(static_cast<uint64_t>(t) + 1234);
+      for (int i = 0; i < 4000; ++i) {
+        const uint64_t slot = rng.Uniform(4000);
+        const common::Key k = slot * kThreads + static_cast<uint64_t>(t) + 1;
+        if (present[static_cast<size_t>(t)][slot]) {
+          tree.Delete(client, k);
+          present[static_cast<size_t>(t)][slot] = 0;
+        } else {
+          tree.Insert(client, k, k);
+          present[static_cast<size_t>(t)][slot] = 1;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  dmsim::Client client(&pool, 100);
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t slot = 0; slot < 4000; ++slot) {
+      const common::Key k = slot * kThreads + static_cast<uint64_t>(t) + 1;
+      common::Value v = 0;
+      const bool got = tree.Search(client, k, &v);
+      ASSERT_EQ(got, present[static_cast<size_t>(t)][slot] != 0) << "key " << k;
+    }
+  }
+}
+
+TEST(TreeIndirectTest, VariableLengthRoundTrip) {
+  dmsim::MemoryPool pool(TestConfig());
+  ChimeOptions opts;
+  opts.indirect_values = true;
+  opts.indirect_block_bytes = 128;
+  ChimeTree tree(&pool, opts);
+  dmsim::Client client(&pool, 0);
+  for (common::Key k = 1; k <= 2000; ++k) {
+    tree.Insert(client, k, k * 3);
+  }
+  for (common::Key k = 1; k <= 2000; ++k) {
+    common::Value v = 0;
+    ASSERT_TRUE(tree.Search(client, k, &v));
+    EXPECT_EQ(v, k * 3);
+  }
+  EXPECT_TRUE(tree.Update(client, 100, 999));
+  common::Value v = 0;
+  ASSERT_TRUE(tree.Search(client, 100, &v));
+  EXPECT_EQ(v, 999u);
+  std::vector<std::pair<common::Key, common::Value>> out;
+  ASSERT_EQ(tree.Scan(client, 10, 5, &out), 5u);
+  EXPECT_EQ(out[0].second, 30u);
+}
+
+TEST(TreeCacheTest, CacheConsumptionGrowsWithData) {
+  dmsim::MemoryPool pool(TestConfig());
+  ChimeTree tree(&pool, ChimeOptions{});
+  dmsim::Client client(&pool, 0);
+  for (common::Key k = 1; k <= 200; ++k) {
+    tree.Insert(client, k, k);
+  }
+  const size_t small = tree.cache().bytes_used();
+  for (common::Key k = 201; k <= 20000; ++k) {
+    tree.Insert(client, k, k);
+  }
+  EXPECT_GT(tree.cache().bytes_used(), small);
+}
+
+TEST(TreeCacheTest, TinyCacheStillCorrectJustSlower) {
+  dmsim::MemoryPool pool(TestConfig());
+  ChimeOptions opts;
+  opts.cache_bytes = 4 << 10;  // 4 KB: almost nothing fits
+  ChimeTree tree(&pool, opts);
+  dmsim::Client client(&pool, 0);
+  for (common::Key k = 1; k <= 3000; ++k) {
+    tree.Insert(client, k, k + 5);
+  }
+  for (common::Key k = 1; k <= 3000; k += 7) {
+    common::Value v = 0;
+    ASSERT_TRUE(tree.Search(client, k, &v));
+    EXPECT_EQ(v, k + 5);
+  }
+  const auto& s = client.stats().For(dmsim::OpType::kSearch);
+  EXPECT_GT(s.cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace chime

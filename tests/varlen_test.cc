@@ -1,0 +1,184 @@
+// Tests for variable-length key/value support (paper §4.5): prefix fingerprints, collision
+// handling via linked blocks, ordering, and concurrency.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/core/tree.h"
+#include "src/dmsim/pool.h"
+
+namespace chime {
+namespace {
+
+dmsim::SimConfig TestConfig() {
+  dmsim::SimConfig cfg;
+  cfg.region_bytes_per_mn = 256ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  return cfg;
+}
+
+class VarlenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pool_ = std::make_unique<dmsim::MemoryPool>(TestConfig());
+    ChimeOptions opts;
+    opts.indirect_values = true;
+    opts.indirect_block_bytes = 128;
+    tree_ = std::make_unique<ChimeTree>(pool_.get(), opts);
+    client_ = std::make_unique<dmsim::Client>(pool_.get(), 0);
+  }
+
+  std::unique_ptr<dmsim::MemoryPool> pool_;
+  std::unique_ptr<ChimeTree> tree_;
+  std::unique_ptr<dmsim::Client> client_;
+};
+
+TEST(VarFingerprintTest, OrderPreservingOnPrefixes) {
+  EXPECT_LT(ChimeTree::VarFingerprint("apple"), ChimeTree::VarFingerprint("banana"));
+  EXPECT_LT(ChimeTree::VarFingerprint("a"), ChimeTree::VarFingerprint("aa"));
+  EXPECT_LT(ChimeTree::VarFingerprint("abc"), ChimeTree::VarFingerprint("abd"));
+  // Keys sharing an 8-byte prefix collide by design.
+  EXPECT_EQ(ChimeTree::VarFingerprint("prefix00_A"), ChimeTree::VarFingerprint("prefix00_B"));
+  EXPECT_NE(ChimeTree::VarFingerprint("x"), 0u);
+}
+
+TEST_F(VarlenTest, InsertSearchRoundTrip) {
+  tree_->InsertVar(*client_, "hello", "world");
+  tree_->InsertVar(*client_, "key-with-a-long-tail-beyond-8-bytes", "v2");
+  std::string v;
+  ASSERT_TRUE(tree_->SearchVar(*client_, "hello", &v));
+  EXPECT_EQ(v, "world");
+  ASSERT_TRUE(tree_->SearchVar(*client_, "key-with-a-long-tail-beyond-8-bytes", &v));
+  EXPECT_EQ(v, "v2");
+  EXPECT_FALSE(tree_->SearchVar(*client_, "absent", &v));
+}
+
+TEST_F(VarlenTest, FingerprintCollisionsResolvedByBlocks) {
+  // All these share the same 8-byte prefix -> identical in-node fingerprints.
+  const std::string kPrefix = "SENSOR//";
+  for (int i = 0; i < 6; ++i) {
+    tree_->InsertVar(*client_, kPrefix + std::to_string(i), "value" + std::to_string(i));
+  }
+  std::string v;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(tree_->SearchVar(*client_, kPrefix + std::to_string(i), &v)) << i;
+    EXPECT_EQ(v, "value" + std::to_string(i));
+  }
+  EXPECT_FALSE(tree_->SearchVar(*client_, kPrefix + "99", &v));
+}
+
+TEST_F(VarlenTest, UpdateAndDeleteWithCollisions) {
+  const std::string kPrefix = "COLLIDE!";
+  tree_->InsertVar(*client_, kPrefix + "one", "1");
+  tree_->InsertVar(*client_, kPrefix + "two", "2");
+  tree_->InsertVar(*client_, kPrefix + "three", "3");
+
+  EXPECT_TRUE(tree_->UpdateVar(*client_, kPrefix + "two", "2b"));
+  std::string v;
+  ASSERT_TRUE(tree_->SearchVar(*client_, kPrefix + "two", &v));
+  EXPECT_EQ(v, "2b");
+  ASSERT_TRUE(tree_->SearchVar(*client_, kPrefix + "one", &v));
+  EXPECT_EQ(v, "1");  // the collision sibling is untouched
+
+  EXPECT_TRUE(tree_->DeleteVar(*client_, kPrefix + "one"));
+  EXPECT_FALSE(tree_->SearchVar(*client_, kPrefix + "one", &v));
+  ASSERT_TRUE(tree_->SearchVar(*client_, kPrefix + "three", &v));
+  EXPECT_EQ(v, "3");
+  EXPECT_FALSE(tree_->DeleteVar(*client_, kPrefix + "one"));
+  EXPECT_FALSE(tree_->UpdateVar(*client_, kPrefix + "gone", "x"));
+}
+
+TEST_F(VarlenTest, UpsertReplacesValue) {
+  tree_->InsertVar(*client_, "dup", "a");
+  tree_->InsertVar(*client_, "dup", "b");
+  std::string v;
+  ASSERT_TRUE(tree_->SearchVar(*client_, "dup", &v));
+  EXPECT_EQ(v, "b");
+  // No duplicate survives in a scan.
+  std::vector<std::pair<std::string, std::string>> out;
+  tree_->ScanVar(*client_, "dup", 10, &out);
+  ASSERT_GE(out.size(), 1u);
+  EXPECT_EQ(out[0].first, "dup");
+  EXPECT_EQ(out[0].second, "b");
+  if (out.size() > 1) {
+    EXPECT_NE(out[1].first, "dup");
+  }
+}
+
+TEST_F(VarlenTest, ManyStringKeysMatchModel) {
+  common::Rng rng(3);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 4000; ++i) {
+    // Zero-padded 8-char unique prefix keeps fingerprint collisions within capacity.
+    char prefix[16];
+    std::snprintf(prefix, sizeof(prefix), "%08llu",
+                  static_cast<unsigned long long>(rng.Uniform(100000) * 5 + rng.Uniform(5)));
+    std::string key = std::string(prefix) + ":user-field-suffix";
+    std::string value = "payload-" + std::to_string(i);
+    tree_->InsertVar(*client_, key, value);
+    model[key] = value;
+  }
+  std::string v;
+  for (const auto& [k, want] : model) {
+    ASSERT_TRUE(tree_->SearchVar(*client_, k, &v)) << k;
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST_F(VarlenTest, ScanVarReturnsLexicographicOrder) {
+  for (int i = 0; i < 500; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "it%06d", i * 3);  // 8 bytes: distinct fingerprints
+    tree_->InsertVar(*client_, buf, std::to_string(i));
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  const size_t got = tree_->ScanVar(*client_, "it000300", 20, &out);
+  ASSERT_EQ(got, 20u);
+  EXPECT_EQ(out.front().first, "it000300");
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+  }
+}
+
+TEST_F(VarlenTest, ConcurrentVarOpsStayConsistent) {
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(pool_.get(), t + 1);
+      for (int i = 0; i < 800; ++i) {
+        // Distinct 8-byte prefixes (shard digit + padded id) stay within the per-prefix
+        // collision capacity.
+        char prefix[16];
+        std::snprintf(prefix, sizeof(prefix), "%1d%07d", t, i % 200);
+        const std::string key = std::string(prefix) + ":payload-key";
+        tree_->InsertVar(client, key, "v" + std::to_string(i));
+        std::string v;
+        if (!tree_->SearchVar(client, key, &v) || v.substr(0, 1) != "v") {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST_F(VarlenTest, LongKeysAndValuesUpToBlockCapacity) {
+  const std::string long_key(60, 'K');
+  const std::string long_value(60, 'V');
+  tree_->InsertVar(*client_, long_key, long_value);
+  std::string v;
+  ASSERT_TRUE(tree_->SearchVar(*client_, long_key, &v));
+  EXPECT_EQ(v, long_value);
+}
+
+}  // namespace
+}  // namespace chime

@@ -1,0 +1,135 @@
+// Tests for the YCSB workload generator and the measurement runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/baselines/chime_index.h"
+#include "src/ycsb/runner.h"
+#include "src/ycsb/workload.h"
+
+namespace ycsb {
+namespace {
+
+dmsim::SimConfig TestConfig() {
+  dmsim::SimConfig cfg;
+  cfg.region_bytes_per_mn = 256ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  return cfg;
+}
+
+TEST(KeySpaceTest, KeysAreUniqueAndNonZero) {
+  std::set<common::Key> seen;
+  for (uint64_t id = 0; id < 100000; ++id) {
+    const common::Key k = KeySpace::KeyAt(id);
+    EXPECT_NE(k, 0u);
+    EXPECT_TRUE(seen.insert(k).second) << "id " << id;
+  }
+}
+
+TEST(OpGeneratorTest, MixProportionsRoughlyHold) {
+  std::atomic<uint64_t> next_id{10000};
+  OpGenerator gen(WorkloadA(), 10000, &next_id, 3);
+  int reads = 0;
+  int updates = 0;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    const Op op = gen.Next();
+    reads += op.kind == OpKind::kRead;
+    updates += op.kind == OpKind::kUpdate;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kOps, 0.5, 0.03);
+  EXPECT_NEAR(static_cast<double>(updates) / kOps, 0.5, 0.03);
+}
+
+TEST(OpGeneratorTest, WorkloadCIsReadOnly) {
+  std::atomic<uint64_t> next_id{1000};
+  OpGenerator gen(WorkloadC(), 1000, &next_id, 5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(gen.Next().kind, OpKind::kRead);
+  }
+}
+
+TEST(OpGeneratorTest, LoadIsInsertOnlyWithFreshKeys) {
+  std::atomic<uint64_t> next_id{0};
+  OpGenerator gen(WorkloadLoad(), 0, &next_id, 7);
+  std::set<common::Key> keys;
+  for (int i = 0; i < 5000; ++i) {
+    const Op op = gen.Next();
+    EXPECT_EQ(op.kind, OpKind::kInsert);
+    EXPECT_TRUE(keys.insert(op.key).second);
+  }
+  EXPECT_EQ(next_id.load(), 5000u);
+}
+
+TEST(OpGeneratorTest, ScanLengthsBounded) {
+  std::atomic<uint64_t> next_id{1000};
+  OpGenerator gen(WorkloadE(), 1000, &next_id, 9);
+  for (int i = 0; i < 2000; ++i) {
+    const Op op = gen.Next();
+    if (op.kind == OpKind::kScan) {
+      EXPECT_GE(op.scan_len, 1);
+      EXPECT_LE(op.scan_len, 100);
+    }
+  }
+}
+
+TEST(OpGeneratorTest, ExistingKeysAreWithinLoadedSpace) {
+  std::atomic<uint64_t> next_id{500};
+  OpGenerator gen(WorkloadC(), 500, &next_id, 11);
+  std::set<common::Key> valid;
+  for (uint64_t id = 0; id < 500; ++id) {
+    valid.insert(KeySpace::KeyAt(id));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(valid.count(gen.Next().key)) << "generated key outside loaded space";
+  }
+}
+
+TEST(RunnerTest, WorkloadCOnChimeProducesSearchDemand) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  baselines::ChimeIndex index(pool.get(), chime::ChimeOptions{});
+  RunnerOptions opts;
+  opts.num_items = 20000;
+  opts.num_ops = 10000;
+  opts.threads = 4;
+  const RunResult run = RunWorkload(&index, pool.get(), WorkloadC(), opts);
+  const auto& s = run.stats.For(dmsim::OpType::kSearch);
+  EXPECT_GT(s.ops, 0u);
+  EXPECT_GT(s.AvgBytesRead(), 0.0);
+  // Model a sweep: throughput must grow with clients until a resource binds.
+  const dmsim::ModelResult r8 = Model(run, pool->config(), 10, 8);
+  const dmsim::ModelResult r512 = Model(run, pool->config(), 10, 512);
+  EXPECT_GT(r512.throughput_mops, r8.throughput_mops);
+}
+
+TEST(RunnerTest, RdwcCoalescesUnderSkew) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  baselines::ChimeIndex index(pool.get(), chime::ChimeOptions{});
+  RunnerOptions opts;
+  opts.num_items = 5000;
+  opts.num_ops = 5000;
+  opts.threads = 2;
+  opts.rdwc = true;
+  WorkloadMix heavy = WorkloadC();
+  heavy.zipf_theta = 0.99;
+  const RunResult skewed = RunWorkload(&index, pool.get(), heavy, opts);
+  EXPECT_GT(skewed.coalesced_ops, 0u);
+}
+
+TEST(RunnerTest, LoadOnlyPopulatesIndex) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  baselines::ChimeIndex index(pool.get(), chime::ChimeOptions{});
+  RunnerOptions opts;
+  opts.num_items = 5000;
+  LoadOnly(&index, pool.get(), opts);
+  dmsim::Client client(pool.get(), 9);
+  common::Value v = 0;
+  EXPECT_TRUE(index.Search(client, KeySpace::KeyAt(123), &v));
+  EXPECT_FALSE(index.Search(client, KeySpace::KeyAt(123456789), &v));
+}
+
+}  // namespace
+}  // namespace ycsb
