@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_varlen.dir/fig13_varlen.cc.o"
+  "CMakeFiles/bench_fig13_varlen.dir/fig13_varlen.cc.o.d"
+  "bench_fig13_varlen"
+  "bench_fig13_varlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_varlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_sibling.dir/fig16_sibling.cc.o"
+  "CMakeFiles/bench_fig16_sibling.dir/fig16_sibling.cc.o.d"
+  "bench_fig16_sibling"
+  "bench_fig16_sibling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_sibling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_specread.dir/fig17_specread.cc.o"
+  "CMakeFiles/bench_fig17_specread.dir/fig17_specread.cc.o.d"
+  "bench_fig17_specread"
+  "bench_fig17_specread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_specread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

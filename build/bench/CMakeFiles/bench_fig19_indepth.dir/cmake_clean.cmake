@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_indepth.dir/fig19_indepth.cc.o"
+  "CMakeFiles/bench_fig19_indepth.dir/fig19_indepth.cc.o.d"
+  "bench_fig19_indepth"
+  "bench_fig19_indepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_indepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_hashing.cc" "bench/CMakeFiles/bench_fig3_hashing.dir/fig3_hashing.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_hashing.dir/fig3_hashing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ycsb/CMakeFiles/chime_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/chime_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashscheme/CMakeFiles/chime_hashscheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chime_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmsim/CMakeFiles/chime_dmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/chime_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hashing.dir/fig3_hashing.cc.o"
+  "CMakeFiles/bench_fig3_hashing.dir/fig3_hashing.cc.o.d"
+  "bench_fig3_hashing"
+  "bench_fig3_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_tradeoff.dir/fig3_tradeoff.cc.o"
+  "CMakeFiles/bench_fig3_tradeoff.dir/fig3_tradeoff.cc.o.d"
+  "bench_fig3_tradeoff"
+  "bench_fig3_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

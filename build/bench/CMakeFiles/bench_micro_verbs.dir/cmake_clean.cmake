@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_verbs.dir/micro_verbs.cc.o"
+  "CMakeFiles/bench_micro_verbs.dir/micro_verbs.cc.o.d"
+  "bench_micro_verbs"
+  "bench_micro_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rtts.dir/table1_rtts.cc.o"
+  "CMakeFiles/bench_table1_rtts.dir/table1_rtts.cc.o.d"
+  "bench_table1_rtts"
+  "bench_table1_rtts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rtts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_budget_planner.dir/cache_budget_planner.cpp.o"
+  "CMakeFiles/cache_budget_planner.dir/cache_budget_planner.cpp.o.d"
+  "cache_budget_planner"
+  "cache_budget_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_budget_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chime_cli.dir/chime_cli.cpp.o"
+  "CMakeFiles/chime_cli.dir/chime_cli.cpp.o.d"
+  "chime_cli"
+  "chime_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chime_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

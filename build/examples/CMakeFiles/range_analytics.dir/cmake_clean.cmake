@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_analytics.dir/range_analytics.cpp.o"
+  "CMakeFiles/range_analytics.dir/range_analytics.cpp.o.d"
+  "range_analytics"
+  "range_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_shootout.dir/ycsb_shootout.cpp.o"
+  "CMakeFiles/ycsb_shootout.dir/ycsb_shootout.cpp.o.d"
+  "ycsb_shootout"
+  "ycsb_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

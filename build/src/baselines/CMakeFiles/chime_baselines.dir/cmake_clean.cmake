@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chime_baselines.dir/rolex.cc.o"
+  "CMakeFiles/chime_baselines.dir/rolex.cc.o.d"
+  "CMakeFiles/chime_baselines.dir/sherman.cc.o"
+  "CMakeFiles/chime_baselines.dir/sherman.cc.o.d"
+  "CMakeFiles/chime_baselines.dir/smart.cc.o"
+  "CMakeFiles/chime_baselines.dir/smart.cc.o.d"
+  "libchime_baselines.a"
+  "libchime_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chime_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chime_cache.dir/hotspot_buffer.cc.o"
+  "CMakeFiles/chime_cache.dir/hotspot_buffer.cc.o.d"
+  "CMakeFiles/chime_cache.dir/index_cache.cc.o"
+  "CMakeFiles/chime_cache.dir/index_cache.cc.o.d"
+  "libchime_cache.a"
+  "libchime_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chime_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

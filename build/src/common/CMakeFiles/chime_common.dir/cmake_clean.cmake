@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chime_common.dir/hash.cc.o"
+  "CMakeFiles/chime_common.dir/hash.cc.o.d"
+  "CMakeFiles/chime_common.dir/histogram.cc.o"
+  "CMakeFiles/chime_common.dir/histogram.cc.o.d"
+  "CMakeFiles/chime_common.dir/types.cc.o"
+  "CMakeFiles/chime_common.dir/types.cc.o.d"
+  "CMakeFiles/chime_common.dir/zipf.cc.o"
+  "CMakeFiles/chime_common.dir/zipf.cc.o.d"
+  "libchime_common.a"
+  "libchime_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chime_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/chime_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/chime_core.dir/layout.cc.o.d"
+  "/root/repo/src/core/tree.cc" "src/core/CMakeFiles/chime_core.dir/tree.cc.o" "gcc" "src/core/CMakeFiles/chime_core.dir/tree.cc.o.d"
+  "/root/repo/src/core/tree_mutate.cc" "src/core/CMakeFiles/chime_core.dir/tree_mutate.cc.o" "gcc" "src/core/CMakeFiles/chime_core.dir/tree_mutate.cc.o.d"
+  "/root/repo/src/core/tree_ops.cc" "src/core/CMakeFiles/chime_core.dir/tree_ops.cc.o" "gcc" "src/core/CMakeFiles/chime_core.dir/tree_ops.cc.o.d"
+  "/root/repo/src/core/tree_scan.cc" "src/core/CMakeFiles/chime_core.dir/tree_scan.cc.o" "gcc" "src/core/CMakeFiles/chime_core.dir/tree_scan.cc.o.d"
+  "/root/repo/src/core/tree_varlen.cc" "src/core/CMakeFiles/chime_core.dir/tree_varlen.cc.o" "gcc" "src/core/CMakeFiles/chime_core.dir/tree_varlen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dmsim/CMakeFiles/chime_dmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/chime_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chime_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

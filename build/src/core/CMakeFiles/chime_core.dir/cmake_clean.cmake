@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chime_core.dir/layout.cc.o"
+  "CMakeFiles/chime_core.dir/layout.cc.o.d"
+  "CMakeFiles/chime_core.dir/tree.cc.o"
+  "CMakeFiles/chime_core.dir/tree.cc.o.d"
+  "CMakeFiles/chime_core.dir/tree_mutate.cc.o"
+  "CMakeFiles/chime_core.dir/tree_mutate.cc.o.d"
+  "CMakeFiles/chime_core.dir/tree_ops.cc.o"
+  "CMakeFiles/chime_core.dir/tree_ops.cc.o.d"
+  "CMakeFiles/chime_core.dir/tree_scan.cc.o"
+  "CMakeFiles/chime_core.dir/tree_scan.cc.o.d"
+  "CMakeFiles/chime_core.dir/tree_varlen.cc.o"
+  "CMakeFiles/chime_core.dir/tree_varlen.cc.o.d"
+  "libchime_core.a"
+  "libchime_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chime_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chime_dmsim.dir/client.cc.o"
+  "CMakeFiles/chime_dmsim.dir/client.cc.o.d"
+  "CMakeFiles/chime_dmsim.dir/throughput_model.cc.o"
+  "CMakeFiles/chime_dmsim.dir/throughput_model.cc.o.d"
+  "libchime_dmsim.a"
+  "libchime_dmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chime_dmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchime_dmsim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chime_hashscheme.dir/hopscotch.cc.o"
+  "CMakeFiles/chime_hashscheme.dir/hopscotch.cc.o.d"
+  "libchime_hashscheme.a"
+  "libchime_hashscheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chime_hashscheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

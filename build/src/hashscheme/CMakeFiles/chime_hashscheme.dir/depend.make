@@ -1,0 +1,2 @@
+# Empty dependencies file for chime_hashscheme.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chime_ycsb.dir/runner.cc.o"
+  "CMakeFiles/chime_ycsb.dir/runner.cc.o.d"
+  "libchime_ycsb.a"
+  "libchime_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chime_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmsim_edge_test.dir/dmsim_edge_test.cc.o"
+  "CMakeFiles/dmsim_edge_test.dir/dmsim_edge_test.cc.o.d"
+  "dmsim_edge_test"
+  "dmsim_edge_test.pdb"
+  "dmsim_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmsim_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmsim_test.dir/dmsim_test.cc.o"
+  "CMakeFiles/dmsim_test.dir/dmsim_test.cc.o.d"
+  "dmsim_test"
+  "dmsim_test.pdb"
+  "dmsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

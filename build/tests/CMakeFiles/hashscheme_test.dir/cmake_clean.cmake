@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashscheme_test.dir/hashscheme_test.cc.o"
+  "CMakeFiles/hashscheme_test.dir/hashscheme_test.cc.o.d"
+  "hashscheme_test"
+  "hashscheme_test.pdb"
+  "hashscheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashscheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

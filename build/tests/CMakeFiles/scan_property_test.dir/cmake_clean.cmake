@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_property_test.dir/scan_property_test.cc.o"
+  "CMakeFiles/scan_property_test.dir/scan_property_test.cc.o.d"
+  "scan_property_test"
+  "scan_property_test.pdb"
+  "scan_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varlen_test.dir/varlen_test.cc.o"
+  "CMakeFiles/varlen_test.dir/varlen_test.cc.o.d"
+  "varlen_test"
+  "varlen_test.pdb"
+  "varlen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varlen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
