@@ -9,6 +9,7 @@
 
 #include "src/common/types.h"
 #include "src/dmsim/client.h"
+#include "src/dmsim/verb_retry.h"
 
 namespace baselines {
 
@@ -34,6 +35,12 @@ class RangeIndex {
       Insert(client, k, v);
     }
   }
+
+ protected:
+  // Bounded retry-with-backoff for retryable dmsim::VerbError (injected NIC timeouts).
+  // Implementations issue verbs through dmsim::retry::{Read,Write,...}(client, verb_retry_,
+  // ...); on budget exhaustion the error propagates to the caller as a clean failure.
+  dmsim::VerbRetryPolicy verb_retry_;
 };
 
 }  // namespace baselines

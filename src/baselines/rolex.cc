@@ -130,7 +130,7 @@ void RolexIndex::BulkLoad(dmsim::Client& client,
       chime::CellCodec::Store(image.data(), layout_.entries[static_cast<size_t>(i)],
                               data.data(), chime::PackVersion(0, 0));
     }
-    client.Write(GroupAddr(g), image.data(), static_cast<uint32_t>(image.size()));
+    dmsim::retry::Write(client, verb_retry_, GroupAddr(g), image.data(), static_cast<uint32_t>(image.size()));
   }
   client.AbortOp();
 }
@@ -225,9 +225,9 @@ bool RolexIndex::SearchWindow(dmsim::Client& client, common::GlobalAddress g0,
     }
   }
   if (batch.size() == 1) {
-    client.Read(batch[0].addr, batch[0].local, batch[0].len);
+    dmsim::retry::Read(client, verb_retry_, batch[0].addr, batch[0].local, batch[0].len);
   } else {
-    client.ReadBatch(batch);
+    dmsim::retry::ReadBatch(client, verb_retry_, batch);
   }
   const int kb = options_.indirect_values ? 8 : options_.key_bytes;
   std::vector<uint8_t> data(layout_.entry_data_len);
@@ -281,7 +281,7 @@ void RolexIndex::WriteDirtyAndUnlock(dmsim::Client& client, common::GlobalAddres
   }
   bufs.push_back(std::vector<uint8_t>(8, 0));
   batch.push_back({lock_group + layout_.lock_offset, bufs.back().data(), 8});
-  client.WriteBatch(batch);
+  dmsim::retry::WriteBatch(client, verb_retry_, batch);
 }
 
 size_t RolexIndex::PredictGroup(common::Key key) const {
@@ -348,7 +348,7 @@ bool RolexIndex::ReadGroup(dmsim::Client& client, common::GlobalAddress addr,
                            GroupView* view) {
   std::vector<uint8_t> buf(layout_.lock_offset);
   for (int retry = 0; retry < kMaxReadRetries; ++retry) {
-    client.Read(addr, buf.data(), layout_.lock_offset);
+    dmsim::retry::Read(client, verb_retry_, addr, buf.data(), layout_.lock_offset);
     if (ParseGroup(buf.data(), view)) {
       return true;
     }
@@ -360,7 +360,7 @@ bool RolexIndex::ReadGroup(dmsim::Client& client, common::GlobalAddress addr,
 
 void RolexIndex::LockGroup(dmsim::Client& client, common::GlobalAddress addr) {
   int spin = 0;
-  while (client.Cas(addr + layout_.lock_offset, 0, 1) != 0) {
+  while (dmsim::retry::Cas(client, verb_retry_, addr + layout_.lock_offset, 0, 1) != 0) {
     client.CountRetry();
     CpuRelax(spin++);
   }
@@ -368,7 +368,7 @@ void RolexIndex::LockGroup(dmsim::Client& client, common::GlobalAddress addr) {
 
 void RolexIndex::UnlockGroup(dmsim::Client& client, common::GlobalAddress addr) {
   const uint64_t zero = 0;
-  client.Write(addr + layout_.lock_offset, &zero, 8);
+  dmsim::retry::Write(client, verb_retry_, addr + layout_.lock_offset, &zero, 8);
 }
 
 void RolexIndex::WriteEntryAndUnlock(dmsim::Client& client, common::GlobalAddress group,
@@ -385,7 +385,7 @@ void RolexIndex::WriteEntryAndUnlock(dmsim::Client& client, common::GlobalAddres
   chime::CellCodec::Store(cell_buf.data() - cell.offset, cell, data.data(),
                           chime::PackVersion(view.nv, view.evs[static_cast<size_t>(idx)]));
   uint64_t zero = 0;
-  client.WriteBatch({{group + cell.offset, cell_buf.data(), cell.total_len},
+  dmsim::retry::WriteBatch(client, verb_retry_, {{group + cell.offset, cell_buf.data(), cell.total_len},
                      {lock_group + layout_.lock_offset, &zero, 8}});
 }
 
@@ -397,7 +397,7 @@ void RolexIndex::WriteHeader(dmsim::Client& client, common::GlobalAddress group,
   chime::StoreUint(data.data() + 1, view.overflow.Pack(), 8);
   chime::CellCodec::Store(cell_buf.data() - layout_.header.offset, layout_.header,
                           data.data(), chime::PackVersion(view.nv, 0));
-  client.Write(group + layout_.header.offset, cell_buf.data(), layout_.header.total_len);
+  dmsim::retry::Write(client, verb_retry_, group + layout_.header.offset, cell_buf.data(), layout_.header.total_len);
 }
 
 common::Value RolexIndex::EncodeValue(dmsim::Client& client, common::Key key,
@@ -410,7 +410,7 @@ common::Value RolexIndex::EncodeValue(dmsim::Client& client, common::Key key,
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
   std::memcpy(buf.data(), &key, 8);
   std::memcpy(buf.data() + 8, &value, 8);
-  client.Write(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  dmsim::retry::Write(client, verb_retry_, block, buf.data(), static_cast<uint32_t>(buf.size()));
   return block.Pack();
 }
 
@@ -421,7 +421,7 @@ bool RolexIndex::DecodeValue(dmsim::Client& client, common::Key key, common::Val
     return true;
   }
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
-  client.Read(common::GlobalAddress::Unpack(stored), buf.data(),
+  dmsim::retry::Read(client, verb_retry_, common::GlobalAddress::Unpack(stored), buf.data(),
               static_cast<uint32_t>(buf.size()));
   common::Key k = 0;
   std::memcpy(&k, buf.data(), 8);
@@ -455,10 +455,10 @@ bool RolexIndex::Search(dmsim::Client& client, common::Key key, common::Value* v
   const size_t g1 = g + 1 < num_groups_ ? g + 1 : g;
   for (int retry = 0; retry < kMaxReadRetries && !found; ++retry) {
     if (g1 != g) {
-      client.ReadBatch({{GroupAddr(g), buf0.data(), layout_.lock_offset},
+      dmsim::retry::ReadBatch(client, verb_retry_, {{GroupAddr(g), buf0.data(), layout_.lock_offset},
                         {GroupAddr(g1), buf1.data(), layout_.lock_offset}});
     } else {
-      client.Read(GroupAddr(g), buf0.data(), layout_.lock_offset);
+      dmsim::retry::Read(client, verb_retry_, GroupAddr(g), buf0.data(), layout_.lock_offset);
     }
     GroupView v0;
     GroupView v1;
@@ -557,7 +557,7 @@ void RolexIndex::Insert(dmsim::Client& client, common::Key key, common::Value va
       std::vector<uint8_t> image;
       BuildEmptyGroupImage(&image);
       const common::GlobalAddress of = client.Alloc(layout_.node_bytes, chime::kLineBytes);
-      client.Write(of, image.data(), static_cast<uint32_t>(image.size()));
+      dmsim::retry::Write(client, verb_retry_, of, image.data(), static_cast<uint32_t>(image.size()));
       view.overflow = of;
       WriteHeader(client, cur, view);
       overflow_groups_.fetch_add(1, std::memory_order_relaxed);

@@ -126,7 +126,7 @@ void ShermanTree::BuildLeafImage(const LeafHeader& header,
 
 bool ShermanTree::ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, LeafView* view) {
   view->raw.resize(leaf_.lock_offset);
-  client.Read(addr, view->raw.data(), leaf_.lock_offset);
+  dmsim::retry::Read(client, verb_retry_, addr, view->raw.data(), leaf_.lock_offset);
   std::vector<uint8_t> data(std::max(leaf_.header_data_len, leaf_.entry_data_len));
   uint8_t ver0 = 0;
   if (!chime::CellCodec::Load(view->raw.data(), leaf_.header, data.data(), &ver0)) {
@@ -151,7 +151,7 @@ bool ShermanTree::ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, Le
 
 void ShermanTree::LockLeaf(dmsim::Client& client, common::GlobalAddress addr) {
   int spin = 0;
-  while (client.Cas(addr + leaf_.lock_offset, 0, 1) != 0) {
+  while (dmsim::retry::Cas(client, verb_retry_, addr + leaf_.lock_offset, 0, 1) != 0) {
     client.CountRetry();
     CpuRelax(spin++);
   }
@@ -159,7 +159,7 @@ void ShermanTree::LockLeaf(dmsim::Client& client, common::GlobalAddress addr) {
 
 void ShermanTree::UnlockLeaf(dmsim::Client& client, common::GlobalAddress addr) {
   const uint64_t zero = 0;
-  client.Write(addr + leaf_.lock_offset, &zero, 8);
+  dmsim::retry::Write(client, verb_retry_, addr + leaf_.lock_offset, &zero, 8);
 }
 
 void ShermanTree::WriteEntryAndUnlock(dmsim::Client& client, common::GlobalAddress leaf,
@@ -171,7 +171,7 @@ void ShermanTree::WriteEntryAndUnlock(dmsim::Client& client, common::GlobalAddre
   chime::CellCodec::Store(cell_buf.data() - cell.offset, cell, data.data(),
                           chime::PackVersion(view.nv, view.evs[static_cast<size_t>(idx)]));
   uint64_t zero = 0;
-  client.WriteBatch({{leaf + cell.offset, cell_buf.data(), cell.total_len},
+  dmsim::retry::WriteBatch(client, verb_retry_, {{leaf + cell.offset, cell_buf.data(), cell.total_len},
                      {leaf + leaf_.lock_offset, &zero, 8}});
 }
 
@@ -187,7 +187,7 @@ common::Value ShermanTree::EncodeValue(dmsim::Client& client, common::Key key,
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
   std::memcpy(buf.data(), &key, 8);
   std::memcpy(buf.data() + 8, &value, 8);
-  client.Write(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  dmsim::retry::Write(client, verb_retry_, block, buf.data(), static_cast<uint32_t>(buf.size()));
   return block.Pack();
 }
 
@@ -198,7 +198,7 @@ bool ShermanTree::DecodeValue(dmsim::Client& client, common::Key key, common::Va
     return true;
   }
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
-  client.Read(common::GlobalAddress::Unpack(stored), buf.data(),
+  dmsim::retry::Read(client, verb_retry_, common::GlobalAddress::Unpack(stored), buf.data(),
               static_cast<uint32_t>(buf.size()));
   common::Key k = 0;
   std::memcpy(&k, buf.data(), 8);
@@ -217,14 +217,14 @@ common::GlobalAddress ShermanTree::CachedRoot(dmsim::Client& client) {
     return common::GlobalAddress::Unpack(packed);
   }
   uint64_t fresh = 0;
-  client.Read(root_ptr_addr_, &fresh, 8);
+  dmsim::retry::Read(client, verb_retry_, root_ptr_addr_, &fresh, 8);
   cached_root_.store(fresh, std::memory_order_release);
   return common::GlobalAddress::Unpack(fresh);
 }
 
 void ShermanTree::RefreshRoot(dmsim::Client& client) {
   uint64_t fresh = 0;
-  client.Read(root_ptr_addr_, &fresh, 8);
+  dmsim::retry::Read(client, verb_retry_, root_ptr_addr_, &fresh, 8);
   cached_root_.store(fresh, std::memory_order_release);
 }
 
@@ -234,7 +234,7 @@ std::shared_ptr<const cncache::CachedNode> ShermanTree::FetchInternal(
   chime::InternalHeader header;
   std::vector<chime::InternalEntry> entries;
   for (int retry = 0; retry < kMaxReadRetries; ++retry) {
-    client.Read(addr, buf.data(), internal_.lock_offset());
+    dmsim::retry::Read(client, verb_retry_, addr, buf.data(), internal_.lock_offset());
     if (internal_.DecodeNode(buf.data(), &header, &entries)) {
       if (!header.valid) {
         return nullptr;
@@ -389,25 +389,25 @@ void ShermanTree::InsertIntoParent(dmsim::Client& client,
       cur = TraverseToLevel(client, pivot, level);
     }
     int spin = 0;
-    while (client.Cas(cur + IL.lock_offset(), 0, 1) != 0) {
+    while (dmsim::retry::Cas(client, verb_retry_, cur + IL.lock_offset(), 0, 1) != 0) {
       client.CountRetry();
       CpuRelax(spin++);
     }
     bool ok = false;
     for (int retry = 0; retry < kMaxReadRetries && !ok; ++retry) {
-      client.Read(cur, buf.data(), IL.lock_offset());
+      dmsim::retry::Read(client, verb_retry_, cur, buf.data(), IL.lock_offset());
       ok = IL.DecodeNode(buf.data(), &header, &entries);
     }
     assert(ok);
     if (!header.valid || pivot < header.fence_lo) {
       const uint64_t zero = 0;
-      client.Write(cur + IL.lock_offset(), &zero, 8);
+      dmsim::retry::Write(client, verb_retry_, cur + IL.lock_offset(), &zero, 8);
       cur = common::GlobalAddress::Null();
       continue;
     }
     if (pivot >= header.fence_hi) {
       const uint64_t zero = 0;
-      client.Write(cur + IL.lock_offset(), &zero, 8);
+      dmsim::retry::Write(client, verb_retry_, cur + IL.lock_offset(), &zero, 8);
       cur = header.sibling;
       continue;
     }
@@ -420,7 +420,7 @@ void ShermanTree::InsertIntoParent(dmsim::Client& client,
         0xF);
     if (entries.size() <= static_cast<size_t>(IL.span())) {
       IL.EncodeNode(header, entries, nv, &image);
-      client.Write(cur, image.data(), static_cast<uint32_t>(image.size()));
+      dmsim::retry::Write(client, verb_retry_, cur, image.data(), static_cast<uint32_t>(image.size()));
       auto node = std::make_shared<cncache::CachedNode>();
       node->addr = cur;
       node->level = header.level;
@@ -442,12 +442,12 @@ void ShermanTree::InsertIntoParent(dmsim::Client& client,
     chime::InternalHeader right_header = header;
     right_header.fence_lo = split_pivot;
     IL.EncodeNode(right_header, right_entries, 0, &image);
-    client.Write(right_addr, image.data(), static_cast<uint32_t>(image.size()));
+    dmsim::retry::Write(client, verb_retry_, right_addr, image.data(), static_cast<uint32_t>(image.size()));
     chime::InternalHeader left_header = header;
     left_header.fence_hi = split_pivot;
     left_header.sibling = right_addr;
     IL.EncodeNode(left_header, entries, nv, &image);
-    client.Write(cur, image.data(), static_cast<uint32_t>(image.size()));
+    dmsim::retry::Write(client, verb_retry_, cur, image.data(), static_cast<uint32_t>(image.size()));
     cache_.Invalidate(cur);
 
     uint64_t root_now = cached_root_.load(std::memory_order_acquire);
@@ -462,8 +462,23 @@ void ShermanTree::InsertIntoParent(dmsim::Client& client,
       std::vector<chime::InternalEntry> root_entries{{left_header.fence_lo, cur},
                                                      {split_pivot, right_addr}};
       IL.EncodeNode(root_header, root_entries, 0, &image);
-      client.Write(new_root, image.data(), static_cast<uint32_t>(image.size()));
-      if (client.Cas(root_ptr_addr_, cur.Pack(), new_root.Pack()) == cur.Pack()) {
+      dmsim::retry::Write(client, verb_retry_, new_root, image.data(), static_cast<uint32_t>(image.size()));
+      // A failed CAS can be spurious under fault injection; trust only the pointer itself.
+      bool swung = false;
+      while (true) {
+        if (dmsim::retry::Cas(client, verb_retry_, root_ptr_addr_, cur.Pack(),
+                              new_root.Pack()) == cur.Pack()) {
+          swung = true;
+          break;
+        }
+        uint64_t fresh = 0;
+        dmsim::retry::Read(client, verb_retry_, root_ptr_addr_, &fresh, 8);
+        if (fresh != cur.Pack()) {
+          break;  // genuinely lost the race to another root split
+        }
+        client.CountRetry();
+      }
+      if (swung) {
         cached_root_.store(new_root.Pack(), std::memory_order_release);
         height_.store(root_header.level, std::memory_order_relaxed);
         return;
@@ -622,7 +637,7 @@ void ShermanTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref, 
   right_header.sibling = view->header.sibling;
   std::vector<uint8_t> image;
   BuildLeafImage(right_header, right_slots, 0, &image);
-  client.Write(new_addr, image.data(), static_cast<uint32_t>(image.size()));
+  dmsim::retry::Write(client, verb_retry_, new_addr, image.data(), static_cast<uint32_t>(image.size()));
 
   std::vector<chime::LeafEntry> left_slots(static_cast<size_t>(options_.span));
   for (size_t i = 0; i < mid; ++i) {
@@ -632,7 +647,7 @@ void ShermanTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref, 
   left_header.fence_hi = split_pivot;
   left_header.sibling = new_addr;
   BuildLeafImage(left_header, left_slots, static_cast<uint8_t>((view->nv + 1) & 0xF), &image);
-  client.Write(ref.addr, image.data(), static_cast<uint32_t>(image.size()));
+  dmsim::retry::Write(client, verb_retry_, ref.addr, image.data(), static_cast<uint32_t>(image.size()));
 
   InsertIntoParent(client, ref.path, 1, split_pivot, new_addr);
 }

@@ -143,7 +143,7 @@ std::shared_ptr<const SmartTree::NodeImage> SmartTree::FetchNode(dmsim::Client& 
                                                                  NodeType type) {
   // The typed pointer tells the reader the exact node size, so one READ suffices.
   std::vector<uint8_t> buf(NodeBytes(type));
-  client.Read(addr, buf.data(), NodeBytes(type));
+  dmsim::retry::Read(client, verb_retry_, addr, buf.data(), NodeBytes(type));
   auto node = std::make_shared<NodeImage>();
   if (!DecodeNode(buf.data(), buf.size(), node.get())) {
     return nullptr;
@@ -160,7 +160,7 @@ common::GlobalAddress SmartTree::WriteNewNode(dmsim::Client& client, const NodeI
   std::vector<uint8_t> image;
   EncodeNode(node, &image);
   const common::GlobalAddress addr = client.Alloc(image.size(), 64);
-  client.Write(addr, image.data(), static_cast<uint32_t>(image.size()));
+  dmsim::retry::Write(client, verb_retry_, addr, image.data(), static_cast<uint32_t>(image.size()));
   return addr;
 }
 
@@ -168,14 +168,14 @@ common::GlobalAddress SmartTree::WriteLeaf(dmsim::Client& client, common::Key ke
                                            common::Value value) {
   const common::GlobalAddress addr = client.Alloc(16, 16);
   uint64_t kv[2] = {key, EncodeValue(client, key, value)};
-  client.Write(addr, kv, 16);
+  dmsim::retry::Write(client, verb_retry_, addr, kv, 16);
   return addr;
 }
 
 bool SmartTree::ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, common::Key* key,
                          common::Value* value) {
   uint64_t kv[2];
-  client.Read(addr, kv, 16);
+  dmsim::retry::Read(client, verb_retry_, addr, kv, 16);
   *key = kv[0];
   *value = kv[1];
   return kv[0] != 0;
@@ -183,7 +183,7 @@ bool SmartTree::ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, comm
 
 void SmartTree::LockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type) {
   int spin = 0;
-  while (client.Cas(addr + LockOffset(type), 0, 1) != 0) {
+  while (dmsim::retry::Cas(client, verb_retry_, addr + LockOffset(type), 0, 1) != 0) {
     client.CountRetry();
     CpuRelax(spin++);
   }
@@ -191,7 +191,7 @@ void SmartTree::LockNode(dmsim::Client& client, common::GlobalAddress addr, Node
 
 void SmartTree::UnlockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type) {
   const uint64_t zero = 0;
-  client.Write(addr + LockOffset(type), &zero, 8);
+  dmsim::retry::Write(client, verb_retry_, addr + LockOffset(type), &zero, 8);
 }
 
 common::Value SmartTree::EncodeValue(dmsim::Client& client, common::Key key,
@@ -204,7 +204,7 @@ common::Value SmartTree::EncodeValue(dmsim::Client& client, common::Key key,
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
   std::memcpy(buf.data(), &key, 8);
   std::memcpy(buf.data() + 8, &value, 8);
-  client.Write(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  dmsim::retry::Write(client, verb_retry_, block, buf.data(), static_cast<uint32_t>(buf.size()));
   return block.Pack();
 }
 
@@ -215,7 +215,7 @@ bool SmartTree::DecodeValue(dmsim::Client& client, common::Key key, common::Valu
     return true;
   }
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
-  client.Read(common::GlobalAddress::Unpack(stored), buf.data(),
+  dmsim::retry::Read(client, verb_retry_, common::GlobalAddress::Unpack(stored), buf.data(),
               static_cast<uint32_t>(buf.size()));
   common::Key k = 0;
   std::memcpy(&k, buf.data(), 8);
@@ -365,14 +365,14 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
       const uint64_t new_word =
           Slot::Make(false, Slot::Partial(parent_word), z_addr, NodeType::kNode16);
       const uint64_t observed =
-          client.Cas(parent_slot_addr, parent_word, new_word);
+          dmsim::retry::Cas(client, verb_retry_, parent_slot_addr, parent_word, new_word);
       if (observed != parent_word) {
         UnlockNode(client, addr, node->type);
         return false;
       }
       // Retire the replaced node.
       uint8_t invalid[2] = {static_cast<uint8_t>(fresh->type), 0};
-      client.Write(addr, invalid, 2);
+      dmsim::retry::Write(client, verb_retry_, addr, invalid, 2);
       cache_.Invalidate(addr);
       UnlockNode(client, addr, node->type);
       return true;
@@ -388,7 +388,7 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         if (!Slot::Used(w)) {
           const common::GlobalAddress leaf = WriteLeaf(client, key, value);
           const uint64_t desired = Slot::Make(true, digit, leaf);
-          const uint64_t observed = client.Cas(slot_addr, w, desired);
+          const uint64_t observed = dmsim::retry::Cas(client, verb_retry_, slot_addr, w, desired);
           if (observed == w) {
             return true;
           }
@@ -404,13 +404,13 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         if (lk == key) {
           // In-place value update (8-byte atomic write; indirect mode swings the pointer).
           const common::Value stored = EncodeValue(client, key, value);
-          client.Write(Slot::Addr(w) + 8, &stored, 8);
+          dmsim::retry::Write(client, verb_retry_, Slot::Addr(w) + 8, &stored, 8);
           return true;
         }
         if (lk == 0) {
           // Dead leaf (deleted key): replace it with a fresh leaf in place.
           const common::GlobalAddress leaf = WriteLeaf(client, key, value);
-          return client.Cas(slot_addr, w, Slot::Make(true, digit, leaf)) == w;
+          return dmsim::retry::Cas(client, verb_retry_, slot_addr, w, Slot::Make(true, digit, leaf)) == w;
         }
         // Expand: a new Node16 holding both leaves below their common prefix.
         int m = 0;
@@ -429,7 +429,7 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         const common::GlobalAddress leaf = WriteLeaf(client, key, value);
         z.slots[1] = Slot::Make(true, Digit(key, d + 1 + m), leaf);
         const common::GlobalAddress z_addr = WriteNewNode(client, z);
-        return client.Cas(slot_addr, w,
+        return dmsim::retry::Cas(client, verb_retry_, slot_addr, w,
                           Slot::Make(false, digit, z_addr, NodeType::kNode16)) == w;
       }
       parent_slot_addr = slot_addr;
@@ -457,12 +457,12 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         ReadLeaf(client, Slot::Addr(w), &lk, &lv);
         if (lk == key) {
           const common::Value stored = EncodeValue(client, key, value);
-          client.Write(Slot::Addr(w) + 8, &stored, 8);
+          dmsim::retry::Write(client, verb_retry_, Slot::Addr(w) + 8, &stored, 8);
           return true;
         }
         if (lk == 0) {
           const common::GlobalAddress leaf = WriteLeaf(client, key, value);
-          return client.Cas(slot_addr, w, Slot::Make(true, digit, leaf)) == w;
+          return dmsim::retry::Cas(client, verb_retry_, slot_addr, w, Slot::Make(true, digit, leaf)) == w;
         }
         int m = 0;
         while (d + 1 + m < 8 && Digit(key, d + 1 + m) == Digit(lk, d + 1 + m)) {
@@ -480,7 +480,7 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         const common::GlobalAddress leaf = WriteLeaf(client, key, value);
         z.slots[1] = Slot::Make(true, Digit(key, d + 1 + m), leaf);
         const common::GlobalAddress z_addr = WriteNewNode(client, z);
-        return client.Cas(slot_addr, w,
+        return dmsim::retry::Cas(client, verb_retry_, slot_addr, w,
                           Slot::Make(false, digit, z_addr, NodeType::kNode16)) == w;
       }
       parent_slot_addr = slot_addr;
@@ -519,7 +519,7 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
     if (free_idx >= 0) {
       const common::GlobalAddress leaf = WriteLeaf(client, key, value);
       const uint64_t word = Slot::Make(true, digit, leaf);
-      client.Write(addr + SlotOffset(free_idx), &word, 8);
+      dmsim::retry::Write(client, verb_retry_, addr + SlotOffset(free_idx), &word, 8);
       UnlockNode(client, addr, NodeType::kNode16);
       return true;
     }
@@ -541,10 +541,10 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
     const common::GlobalAddress big_addr = WriteNewNode(client, big);
     const uint64_t new_word =
         Slot::Make(false, Slot::Partial(parent_word), big_addr, NodeType::kNode256);
-    const bool swapped = client.Cas(parent_slot_addr, parent_word, new_word) == parent_word;
+    const bool swapped = dmsim::retry::Cas(client, verb_retry_, parent_slot_addr, parent_word, new_word) == parent_word;
     if (swapped) {
       uint8_t invalid[2] = {static_cast<uint8_t>(NodeType::kNode16), 0};
-      client.Write(addr, invalid, 2);
+      dmsim::retry::Write(client, verb_retry_, addr, invalid, 2);
       cache_.Invalidate(addr);
     }
     UnlockNode(client, addr, NodeType::kNode16);
@@ -580,7 +580,7 @@ bool SmartTree::Update(dmsim::Client& client, common::Key key, common::Value val
   }
   if (r == FindResult::kFound) {
     const common::Value stored = EncodeValue(client, key, value);
-    client.Write(leaf + 8, &stored, 8);
+    dmsim::retry::Write(client, verb_retry_, leaf + 8, &stored, 8);
     found = true;
   }
   client.EndOp(dmsim::OpType::kUpdate);
@@ -600,7 +600,7 @@ bool SmartTree::Delete(dmsim::Client& client, common::Key key) {
     // Kill the leaf (its key word becomes 0); the parent slot keeps pointing at the dead
     // leaf, which readers treat as absent, and inserts replace.
     const uint64_t zero = 0;
-    client.Write(leaf, &zero, 8);
+    dmsim::retry::Write(client, verb_retry_, leaf, &zero, 8);
     found = true;
   }
   client.EndOp(dmsim::OpType::kDelete);

@@ -34,11 +34,20 @@ struct ChimeOptions {
   size_t cache_bytes = 100ULL << 20;
   size_t hotspot_buffer_bytes = 30ULL << 20;
 
+  // Bounded retry-with-backoff for verbs that fail with a retryable dmsim::VerbError (NIC
+  // timeouts). Each verb is re-issued up to timeout_retry_limit times total, with
+  // exponential backoff charged to the op's simulated latency; when the budget is exhausted
+  // the operation releases any held locks and propagates the VerbError as a clean failure.
+  int timeout_retry_limit = 8;
+  double timeout_backoff_base_ns = 1000.0;
+  double timeout_backoff_cap_ns = 64000.0;
+
   void Validate() const {
     assert(span >= 2 && span <= 1024);
     assert(neighborhood >= 1 && neighborhood <= 16);
     assert(span % neighborhood == 0 && "span must be a multiple of the neighborhood");
     assert(key_bytes >= 8 && value_bytes >= 8);
+    assert(timeout_retry_limit >= 1);
   }
 };
 

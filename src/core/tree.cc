@@ -30,12 +30,17 @@ void CpuRelax(int spin) {
 ChimeTree::ChimeTree(dmsim::MemoryPool* pool, const ChimeOptions& options)
     : pool_(pool),
       options_(options),
+      verb_retry_{options.timeout_retry_limit, options.timeout_backoff_base_ns,
+                  options.timeout_backoff_cap_ns},
       leaf_layout_(options),
       internal_layout_(options),
       cache_(options.cache_bytes, static_cast<size_t>(options.key_bytes)),
       hotspot_(options.speculative_read ? options.hotspot_buffer_bytes : 0) {
   options_.Validate();
   dmsim::Client boot(pool_, /*client_id=*/-1);
+  // Bootstrap is out-of-band setup (a control-plane operation), not data-path traffic:
+  // faults are not injected into it.
+  dmsim::FaultInjector::ScopedSuspend no_faults(boot.injector());
   boot.BeginOp();
 
   root_ptr_addr_ = boot.Alloc(8, 8);
@@ -73,7 +78,7 @@ ChimeTree::ChimeTree(dmsim::MemoryPool* pool, const ChimeOptions& options)
 
 common::GlobalAddress ChimeTree::ReadRootPtr(dmsim::Client& client) {
   uint64_t packed = 0;
-  client.Read(root_ptr_addr_, &packed, 8);
+  VRead(client, root_ptr_addr_, &packed, 8);
   cached_root_.store(packed, std::memory_order_release);
   return common::GlobalAddress::Unpack(packed);
 }
@@ -96,7 +101,7 @@ std::shared_ptr<const cncache::CachedNode> ChimeTree::FetchInternal(
   InternalHeader header;
   std::vector<InternalEntry> entries;
   for (int retry = 0; retry < kMaxReadRetries; ++retry) {
-    client.Read(addr, buf.data(), internal_layout_.lock_offset());
+    VRead(client, addr, buf.data(), internal_layout_.lock_offset());
     if (internal_layout_.DecodeNode(buf.data(), &header, &entries)) {
       if (!header.valid) {
         return nullptr;
@@ -308,9 +313,9 @@ bool ChimeTree::ReadWindow(dmsim::Client& client, common::GlobalAddress leaf, in
     batch.push_back({leaf + cell.offset, extra_buf.data(), cell.total_len});
   }
   if (batch.size() == 1) {
-    client.Read(batch[0].addr, batch[0].local, batch[0].len);
+    VRead(client, batch[0].addr, batch[0].local, batch[0].len);
   } else {
-    client.ReadBatch(batch);
+    VReadBatch(client, batch);
   }
 
   if (!options_.metadata_replication) {
@@ -318,7 +323,7 @@ bool ChimeTree::ReadWindow(dmsim::Client& client, common::GlobalAddress leaf, in
     // with a dedicated READ (the cost CHIME eliminates, paper §3.2.2 / Fig 4b).
     const CellSpec& cell = L.replica_cell(0);
     std::vector<uint8_t> meta_buf(cell.total_len);
-    client.Read(leaf + cell.offset, meta_buf.data(), cell.total_len);
+    VRead(client, leaf + cell.offset, meta_buf.data(), cell.total_len);
     std::vector<uint8_t> data(L.meta_data_len());
     uint8_t ver = 0;
     if (!CellCodec::Load(meta_buf.data() - cell.offset, cell, data.data(), &ver)) {
@@ -436,14 +441,14 @@ void ChimeTree::WriteBackAndUnlock(dmsim::Client& client, common::GlobalAddress 
   bufs.push_back(std::vector<uint8_t>(8));
   std::memcpy(bufs.back().data(), &lock_word, 8);
   batch.push_back({leaf + L.lock_offset(), bufs.back().data(), 8});
-  client.WriteBatch(batch);
+  VWriteBatch(client, batch);
 }
 
 uint64_t ChimeTree::AcquireLeafLock(dmsim::Client& client, common::GlobalAddress leaf) {
   const common::GlobalAddress lock_addr = leaf + leaf_layout_.lock_offset();
   int spin = 0;
   while (true) {
-    const uint64_t old = client.MaskedCas(lock_addr, /*compare=*/0,
+    const uint64_t old = VMaskedCas(client, lock_addr, /*compare=*/0,
                                           /*swap=*/LeafLock::kLockBit,
                                           /*compare_mask=*/LeafLock::kLockBit,
                                           /*swap_mask=*/LeafLock::kLockBit);
@@ -452,7 +457,17 @@ uint64_t ChimeTree::AcquireLeafLock(dmsim::Client& client, common::GlobalAddress
         // Without piggybacking the lock verb carries no payload: the vacancy bitmap (and
         // argmax) must be fetched with a dedicated READ (paper §3.2.2 / Fig 4a).
         uint64_t word = 0;
-        client.Read(lock_addr, &word, 8);
+        try {
+          VRead(client, lock_addr, &word, 8);
+        } catch (const dmsim::VerbError&) {
+          // Budget exhausted with the lock just acquired: clear the lock bit in place
+          // (the word is stable while we hold the lock) and surface the failure.
+          dmsim::FaultInjector::ScopedSuspend no_faults(client.injector());
+          client.Read(lock_addr, &word, 8);
+          word &= ~LeafLock::kLockBit;
+          client.Write(lock_addr, &word, 8);
+          throw;
+        }
         return (word & ~LeafLock::kLockBit) | LeafLock::kLockBit;
       }
       return old;
@@ -465,7 +480,27 @@ uint64_t ChimeTree::AcquireLeafLock(dmsim::Client& client, common::GlobalAddress
 void ChimeTree::ReleaseLeafLock(dmsim::Client& client, common::GlobalAddress leaf,
                                 uint64_t word) {
   const uint64_t unlocked = word & ~LeafLock::kLockBit;
+  try {
+    VWrite(client, leaf + leaf_layout_.lock_offset(), &unlocked, 8);
+  } catch (const dmsim::VerbError&) {
+    // Never leak a leaf lock on budget exhaustion: complete the release with injection
+    // suspended (the lock-lease-recovery stand-in), then surface the failure.
+    AbandonLeafLock(client, leaf, word);
+    throw;
+  }
+}
+
+void ChimeTree::AbandonLeafLock(dmsim::Client& client, common::GlobalAddress leaf,
+                                uint64_t word) {
+  dmsim::FaultInjector::ScopedSuspend no_faults(client.injector());
+  const uint64_t unlocked = word & ~LeafLock::kLockBit;
   client.Write(leaf + leaf_layout_.lock_offset(), &unlocked, 8);
+}
+
+void ChimeTree::AbandonInternalLock(dmsim::Client& client, common::GlobalAddress node) {
+  dmsim::FaultInjector::ScopedSuspend no_faults(client.injector());
+  const uint64_t zero = 0;
+  client.Write(node + internal_layout_.lock_offset(), &zero, 8);
 }
 
 bool ChimeTree::ReadLeafMinMax(dmsim::Client& client, common::GlobalAddress leaf,
@@ -500,7 +535,7 @@ bool ChimeTree::ReadLeafMinMax(dmsim::Client& client, common::GlobalAddress leaf
 common::Key ChimeTree::ReadRangeLo(dmsim::Client& client, common::GlobalAddress leaf) {
   const CellSpec& cell = leaf_layout_.range_lo_cell();
   std::vector<uint8_t> buf(cell.total_len);
-  client.Read(leaf + cell.offset, buf.data(), cell.total_len);
+  VRead(client, leaf + cell.offset, buf.data(), cell.total_len);
   std::vector<uint8_t> data(cell.data_len);
   uint8_t ver = 0;
   // The range floor is immutable for a node's lifetime, so no retry loop is needed.

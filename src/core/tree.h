@@ -24,6 +24,7 @@
 #include "src/core/options.h"
 #include "src/dmsim/client.h"
 #include "src/dmsim/pool.h"
+#include "src/dmsim/verb_retry.h"
 
 namespace chime {
 
@@ -35,6 +36,11 @@ class ChimeTree {
 
   ChimeTree(const ChimeTree&) = delete;
   ChimeTree& operator=(const ChimeTree&) = delete;
+
+  // All operations: when the substrate injects NIC timeouts (dmsim::FaultConfig) and one
+  // verb exhausts the bounded retry budget (options.timeout_retry_*), the operation releases
+  // its locks, leaves the remote structure intact, and throws the dmsim::VerbError. With
+  // injection off (the default) no operation throws.
 
   // Point lookup. Returns false when absent.
   bool Search(dmsim::Client& client, common::Key key, common::Value* value);
@@ -93,6 +99,44 @@ class ChimeTree {
   bool ValidateStructure(dmsim::Client& client, std::string* why);
 
  private:
+  // ---- Verb wrappers ----------------------------------------------------------------------
+  //
+  // Every remote access goes through these instead of raw Client verbs: a verb that fails
+  // with a retryable dmsim::VerbError (injected NIC timeout) is re-issued under the bounded
+  // backoff policy in options_ (timeout_retry_*). Re-issuing is always safe — a retryable
+  // failure means the responder applied nothing — so the wrappers may be used while holding
+  // remote locks. Exhaustion propagates the VerbError; the public operations then abandon
+  // any held lock (AbandonLeafLock / fault-suspended unlock) and rethrow, so a dead fabric
+  // surfaces as a clean error instead of a corrupt or wedged tree.
+
+  void VRead(dmsim::Client& c, common::GlobalAddress addr, void* dst, uint32_t len) {
+    dmsim::retry::Read(c, verb_retry_, addr, dst, len);
+  }
+  void VWrite(dmsim::Client& c, common::GlobalAddress addr, const void* src, uint32_t len) {
+    dmsim::retry::Write(c, verb_retry_, addr, src, len);
+  }
+  uint64_t VCas(dmsim::Client& c, common::GlobalAddress addr, uint64_t compare,
+                uint64_t swap) {
+    return dmsim::retry::Cas(c, verb_retry_, addr, compare, swap);
+  }
+  uint64_t VMaskedCas(dmsim::Client& c, common::GlobalAddress addr, uint64_t compare,
+                      uint64_t swap, uint64_t compare_mask, uint64_t swap_mask) {
+    return dmsim::retry::MaskedCas(c, verb_retry_, addr, compare, swap, compare_mask,
+                                   swap_mask);
+  }
+  void VReadBatch(dmsim::Client& c, const std::vector<dmsim::BatchEntry>& entries) {
+    dmsim::retry::ReadBatch(c, verb_retry_, entries);
+  }
+  void VWriteBatch(dmsim::Client& c, const std::vector<dmsim::BatchEntry>& entries) {
+    dmsim::retry::WriteBatch(c, verb_retry_, entries);
+  }
+
+  // Error-path lock release after the retry budget is exhausted while a lock is held: the
+  // unlock runs with fault injection suspended (the moral equivalent of lease-expiry/QP-reset
+  // recovery) so one exhausted verb cannot wedge the node forever.
+  void AbandonLeafLock(dmsim::Client& client, common::GlobalAddress leaf, uint64_t word);
+  void AbandonInternalLock(dmsim::Client& client, common::GlobalAddress node);
+
   // ---- Traversal --------------------------------------------------------------------------
 
   struct LeafRef {
@@ -253,6 +297,7 @@ class ChimeTree {
 
   dmsim::MemoryPool* pool_;
   ChimeOptions options_;
+  dmsim::VerbRetryPolicy verb_retry_;
   LeafLayout leaf_layout_;
   InternalLayout internal_layout_;
   cncache::IndexCache cache_;

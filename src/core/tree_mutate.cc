@@ -19,6 +19,7 @@ bool ChimeTree::Update(dmsim::Client& client, common::Key key, common::Value val
   assert(key != 0);
   client.BeginOp();
   bool found = false;
+  try {
   for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
     LeafRef ref;
     if (!LocateLeaf(client, key, &ref)) {
@@ -29,8 +30,17 @@ bool ChimeTree::Update(dmsim::Client& client, common::Key key, common::Value val
     for (int hops = 0; hops < 64 && !done && !descend_again; ++hops) {
       const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
       common::GlobalAddress sibling;
-      const MutateResult r =
-          TryMutateLocked(client, ref, key, lock_word, /*is_delete=*/false, value, &sibling);
+      MutateResult r;
+      try {
+        r = TryMutateLocked(client, ref, key, lock_word, /*is_delete=*/false, value,
+                            &sibling);
+      } catch (const dmsim::VerbError&) {
+        // Retry budget exhausted while holding the leaf lock; the leaf is still in its
+        // pre-op state (timeouts abort the verb before any memory effect), so restoring the
+        // old lock word with the lock bit cleared abandons cleanly.
+        AbandonLeafLock(client, ref.addr, lock_word);
+        throw;
+      }
       switch (r) {
         case MutateResult::kDone:
           found = true;
@@ -57,6 +67,10 @@ bool ChimeTree::Update(dmsim::Client& client, common::Key key, common::Value val
       break;
     }
   }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
+  }
   client.EndOp(dmsim::OpType::kUpdate);
   return found;
 }
@@ -65,6 +79,7 @@ bool ChimeTree::Delete(dmsim::Client& client, common::Key key) {
   assert(key != 0);
   client.BeginOp();
   bool found = false;
+  try {
   for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
     LeafRef ref;
     if (!LocateLeaf(client, key, &ref)) {
@@ -75,8 +90,13 @@ bool ChimeTree::Delete(dmsim::Client& client, common::Key key) {
     for (int hops = 0; hops < 64 && !done && !descend_again; ++hops) {
       const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
       common::GlobalAddress sibling;
-      const MutateResult r =
-          TryMutateLocked(client, ref, key, lock_word, /*is_delete=*/true, 0, &sibling);
+      MutateResult r;
+      try {
+        r = TryMutateLocked(client, ref, key, lock_word, /*is_delete=*/true, 0, &sibling);
+      } catch (const dmsim::VerbError&) {
+        AbandonLeafLock(client, ref.addr, lock_word);
+        throw;
+      }
       switch (r) {
         case MutateResult::kDone:
           found = true;
@@ -102,6 +122,10 @@ bool ChimeTree::Delete(dmsim::Client& client, common::Key key) {
     if (done) {
       break;
     }
+  }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
   }
   client.EndOp(dmsim::OpType::kDelete);
   return found;

@@ -44,7 +44,7 @@ ChimeTree::LeafResult ChimeTree::SearchLeaf(dmsim::Client& client, const LeafRef
     if (spec.has_value()) {
       const CellSpec& cell = L.entry_cell(*spec);
       std::vector<uint8_t> buf(cell.total_len);
-      client.Read(ref.addr + cell.offset, buf.data(), cell.total_len);
+      VRead(client, ref.addr + cell.offset, buf.data(), cell.total_len);
       std::vector<uint8_t> data(L.entry_data_len());
       uint8_t ver = 0;
       if (CellCodec::Load(buf.data() - cell.offset, cell, data.data(), &ver)) {
@@ -172,39 +172,46 @@ bool ChimeTree::Search(dmsim::Client& client, common::Key key, common::Value* va
   assert(key != 0 && "key 0 is the empty-slot sentinel");
   client.BeginOp();
   bool found = false;
-  for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
-    LeafRef ref;
-    if (!LocateLeaf(client, key, &ref)) {
-      break;
-    }
-    bool done = false;
-    for (int hops = 0; hops < 64; ++hops) {
-      common::GlobalAddress sibling;
-      const LeafResult r = SearchLeaf(client, ref, key, value, &sibling);
-      if (r == LeafResult::kOk) {
-        found = true;
-        done = true;
+  try {
+    for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
+      LeafRef ref;
+      if (!LocateLeaf(client, key, &ref)) {
         break;
       }
-      if (r == LeafResult::kNotFound) {
-        done = true;
+      bool done = false;
+      for (int hops = 0; hops < 64; ++hops) {
+        common::GlobalAddress sibling;
+        const LeafResult r = SearchLeaf(client, ref, key, value, &sibling);
+        if (r == LeafResult::kOk) {
+          found = true;
+          done = true;
+          break;
+        }
+        if (r == LeafResult::kNotFound) {
+          done = true;
+          break;
+        }
+        if (r == LeafResult::kFollowSibling) {
+          ref.addr = sibling;
+          ref.from_cache = false;
+          // The original expectation still terminates the walk (paper §4.2.3).
+          continue;
+        }
+        if (r == LeafResult::kStaleCache) {
+          cache_.Invalidate(ref.parent_addr);
+          break;  // restart the descent
+        }
+        break;  // kRetry: restart the descent
+      }
+      if (done) {
         break;
       }
-      if (r == LeafResult::kFollowSibling) {
-        ref.addr = sibling;
-        ref.from_cache = false;
-        // The original expectation still terminates the walk (paper §4.2.3).
-        continue;
-      }
-      if (r == LeafResult::kStaleCache) {
-        cache_.Invalidate(ref.parent_addr);
-        break;  // restart the descent
-      }
-      break;  // kRetry: restart the descent
     }
-    if (done) {
-      break;
-    }
+  } catch (const dmsim::VerbError&) {
+    // Retry budget exhausted (searches hold no locks): close the op bracket and surface the
+    // failure to the caller.
+    client.AbortOp();
+    throw;
   }
   client.EndOp(dmsim::OpType::kSearch);
   return found;
@@ -509,6 +516,7 @@ void ChimeTree::InsertImpl(dmsim::Client& client, common::Key key, common::Value
                            const VarContext* var) {
   assert(key != 0 && "key 0 is the empty-slot sentinel");
   client.BeginOp();
+  try {
   for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
     LeafRef ref;
     if (!LocateLeaf(client, key, &ref)) {
@@ -520,8 +528,16 @@ void ChimeTree::InsertImpl(dmsim::Client& client, common::Key key, common::Value
       const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
       Window full;
       common::GlobalAddress sibling;
-      const LeafResult r = TryInsertLocked(client, ref, key, value, lock_word, &full,
-                                           &sibling, var);
+      LeafResult r;
+      try {
+        r = TryInsertLocked(client, ref, key, value, lock_word, &full, &sibling, var);
+      } catch (const dmsim::VerbError&) {
+        // Retry budget exhausted while holding the leaf lock. Injected timeouts are thrown
+        // before the verb has any memory effect, so the leaf is still in its pre-op state:
+        // restoring the old lock word with the lock bit cleared is a clean abandon.
+        AbandonLeafLock(client, ref.addr, lock_word);
+        throw;
+      }
       switch (r) {
         case LeafResult::kOk:
           done = true;
@@ -551,6 +567,10 @@ void ChimeTree::InsertImpl(dmsim::Client& client, common::Key key, common::Value
       client.EndOp(dmsim::OpType::kInsert);
       return;
     }
+  }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
   }
   client.EndOp(dmsim::OpType::kInsert);
   assert(false && "Insert failed to converge");
@@ -661,7 +681,6 @@ bool ChimeTree::BuildLeafImage(const std::vector<std::pair<common::Key, common::
 
 void ChimeTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref,
                                    Window* full_window, uint64_t lock_word) {
-  (void)lock_word;
   const LeafLayout& L = leaf_layout_;
   const int span = L.span();
 
@@ -688,15 +707,16 @@ void ChimeTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref,
   };
   (void)run_start;
 
+  const common::GlobalAddress new_addr = client.Alloc(L.node_bytes(), kLineBytes);
+  std::vector<uint8_t> right_image;
+  std::vector<uint8_t> left_image;
+  size_t m = items.size() / 2;
+  try {
   // The left half keeps the node's immutable range floor.
   const common::Key old_range_lo = ReadRangeLo(client, ref.addr);
 
   // Median split; nudge the split point when local hopscotch placement of a half fails
   // (possible at small neighborhood sizes where load variance is high).
-  const common::GlobalAddress new_addr = client.Alloc(L.node_bytes(), kLineBytes);
-  std::vector<uint8_t> right_image;
-  std::vector<uint8_t> left_image;
-  size_t m = items.size() / 2;
   bool built = false;
   for (int attempt = 0; attempt < 16 && !built; ++attempt) {
     size_t mm = m + static_cast<size_t>((attempt + 1) / 2) *
@@ -732,13 +752,23 @@ void ChimeTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref,
     }
   }
   assert(built && "leaf split could not re-place either half");
-  const common::Key split_pivot = items[m].first;
 
   // New node first, then the old node (which publishes the sibling pointer and releases the
   // lock in the same WRITE) — paper §4.2.2.
-  client.Write(new_addr, right_image.data(), static_cast<uint32_t>(right_image.size()));
-  client.Write(ref.addr, left_image.data(), static_cast<uint32_t>(left_image.size()));
+  VWrite(client, new_addr, right_image.data(), static_cast<uint32_t>(right_image.size()));
+  VWrite(client, ref.addr, left_image.data(), static_cast<uint32_t>(left_image.size()));
+  } catch (const dmsim::VerbError&) {
+    // Retry budget exhausted before the left image landed: the split did not take effect
+    // (injected timeouts abort the verb before any memory effect, so a failed left-image
+    // write leaves the whole pre-split node in place; the orphaned right node just leaks).
+    // Restore the old lock word with the lock bit cleared and surface the failure.
+    AbandonLeafLock(client, ref.addr, lock_word);
+    throw;
+  }
+  const common::Key split_pivot = items[m].first;
 
+  // The leaf lock is released at this point; an up-propagation failure leaves a reachable
+  // half-split, which every descent tolerates via sibling walks.
   InsertIntoParent(client, ref.path, /*level=*/1, split_pivot, new_addr, ref.addr);
 }
 
@@ -747,7 +777,7 @@ void ChimeTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref,
 void ChimeTree::LockInternal(dmsim::Client& client, common::GlobalAddress node) {
   const common::GlobalAddress lock_addr = node + internal_layout_.lock_offset();
   int spin = 0;
-  while (client.Cas(lock_addr, 0, 1) != 0) {
+  while (VCas(client, lock_addr, 0, 1) != 0) {
     client.CountRetry();
     CpuRelax(spin++);
   }
@@ -755,7 +785,7 @@ void ChimeTree::LockInternal(dmsim::Client& client, common::GlobalAddress node) 
 
 void ChimeTree::UnlockInternal(dmsim::Client& client, common::GlobalAddress node) {
   const uint64_t zero = 0;
-  client.Write(node + internal_layout_.lock_offset(), &zero, 8);
+  VWrite(client, node + internal_layout_.lock_offset(), &zero, 8);
 }
 
 void ChimeTree::InsertIntoParent(dmsim::Client& client,
@@ -777,10 +807,15 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
       cur = TraverseToLevel(client, pivot, level);
     }
     LockInternal(client, cur);
+    // On a retry-budget failure anywhere below, abandon the internal lock before
+    // propagating. When the failure happens after the node image (whose lock word is zero)
+    // was written, the lock is already free and rewriting a zero word is idempotent.
+    const common::GlobalAddress locked = cur;
+    try {
     // Fresh read under the lock (single writer; validation must pass).
     bool ok = false;
     for (int retry = 0; retry < kMaxReadRetries && !ok; ++retry) {
-      client.Read(cur, buf.data(), IL.lock_offset());
+      VRead(client, cur, buf.data(), IL.lock_offset());
       ok = IL.DecodeNode(buf.data(), &header, &entries);
     }
     assert(ok);
@@ -809,7 +844,7 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
       const uint8_t nv = static_cast<uint8_t>(
           (VersionNv(CellCodec::PeekVersion(buf.data(), IL.header_cell())) + 1) & 0xF);
       IL.EncodeNode(h, entries, nv, &image);
-      client.Write(cur, image.data(), static_cast<uint32_t>(image.size()));
+      VWrite(client, cur, image.data(), static_cast<uint32_t>(image.size()));
       // Refresh the local cache with the new snapshot.
       auto node = std::make_shared<cncache::CachedNode>();
       node->addr = cur;
@@ -836,7 +871,7 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
     right_header.fence_lo = split_pivot;
     right_header.sibling = header.sibling;
     IL.EncodeNode(right_header, right_entries, 0, &image);
-    client.Write(right_addr, image.data(), static_cast<uint32_t>(image.size()));
+    VWrite(client, right_addr, image.data(), static_cast<uint32_t>(image.size()));
 
     InternalHeader left_header = header;
     left_header.fence_hi = split_pivot;
@@ -844,7 +879,7 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
     const uint8_t nv = static_cast<uint8_t>(
         (VersionNv(CellCodec::PeekVersion(buf.data(), IL.header_cell())) + 1) & 0xF);
     IL.EncodeNode(left_header, entries, nv, &image);
-    client.Write(cur, image.data(), static_cast<uint32_t>(image.size()));
+    VWrite(client, cur, image.data(), static_cast<uint32_t>(image.size()));
     cache_.Invalidate(cur);
 
     const uint64_t root_snapshot = cached_root_.load(std::memory_order_acquire);
@@ -860,21 +895,41 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
       std::vector<InternalEntry> root_entries{{left_header.fence_lo, cur},
                                               {split_pivot, right_addr}};
       IL.EncodeNode(root_header, root_entries, 0, &image);
-      client.Write(new_root, image.data(), static_cast<uint32_t>(image.size()));
-      const uint64_t observed = client.Cas(root_ptr_addr_, cur.Pack(), new_root.Pack());
-      if (observed == cur.Pack()) {
+      VWrite(client, new_root, image.data(), static_cast<uint32_t>(image.size()));
+      // Swing the global root pointer. A failed CAS can be spurious under fault injection
+      // (the injector fabricates a mismatching observed value without touching memory), so
+      // a mismatch alone must not be trusted: re-read the pointer itself and retry while it
+      // still holds our expected root. Only an actually-changed pointer means we lost the
+      // race to another root split.
+      bool swung = false;
+      while (true) {
+        const uint64_t observed = VCas(client, root_ptr_addr_, cur.Pack(), new_root.Pack());
+        if (observed == cur.Pack()) {
+          swung = true;
+          break;
+        }
+        if (ReadRootPtr(client).Pack() != cur.Pack()) {
+          break;
+        }
+        client.CountRetry();
+      }
+      if (swung) {
         cached_root_.store(new_root.Pack(), std::memory_order_release);
         height_.store(root_header.level, std::memory_order_relaxed);
         return;
       }
       // Lost the race: someone split the root before us; insert into the new upper level.
-      RefreshRoot(client);
+      // (ReadRootPtr above already refreshed the cached root.)
     }
     pivot = split_pivot;
     new_child = right_addr;
     level = header.level + 1;
     cur = static_cast<size_t>(level) < path.size() ? path[static_cast<size_t>(level)]
                                                    : common::GlobalAddress::Null();
+    } catch (const dmsim::VerbError&) {
+      AbandonInternalLock(client, locked);
+      throw;
+    }
   }
 }
 

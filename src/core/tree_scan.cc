@@ -62,6 +62,7 @@ size_t ChimeTree::ScanInternal(dmsim::Client& client, common::Key start, size_t 
   const LeafLayout& L = leaf_layout_;
   const uint32_t leaf_bytes = L.lock_offset();  // cells only; the lock word is not needed
 
+  try {
   for (int restart = 0; restart < kMaxOpRestarts && out->empty(); ++restart) {
     LeafRef ref;
     if (!LocateLeaf(client, start, &ref)) {
@@ -89,9 +90,9 @@ size_t ChimeTree::ScanInternal(dmsim::Client& client, common::Key start, size_t 
       batch.push_back({prefetch[i], bufs[i].data(), leaf_bytes});
     }
     if (batch.size() == 1) {
-      client.Read(batch[0].addr, batch[0].local, batch[0].len);
+      VRead(client, batch[0].addr, batch[0].local, batch[0].len);
     } else {
-      client.ReadBatch(batch);
+      VReadBatch(client, batch);
     }
 
     bool aborted = false;
@@ -105,7 +106,7 @@ size_t ChimeTree::ScanInternal(dmsim::Client& client, common::Key start, size_t 
           aborted = true;
           break;
         }
-        client.Read(prefetch[i], bufs[i].data(), leaf_bytes);
+        VRead(client, prefetch[i], bufs[i].data(), leaf_bytes);
       }
       if (aborted || !leaf.meta.valid) {
         aborted = true;
@@ -137,7 +138,7 @@ size_t ChimeTree::ScanInternal(dmsim::Client& client, common::Key start, size_t 
     int walked = 0;
     while (out->size() < count && !cur.is_null() && walked++ < 4096) {
       std::vector<uint8_t> buf(leaf_bytes);
-      client.Read(cur, buf.data(), leaf_bytes);
+      VRead(client, cur, buf.data(), leaf_bytes);
       ParsedLeaf leaf;
       int retry = 0;
       bool ok = true;
@@ -147,7 +148,7 @@ size_t ChimeTree::ScanInternal(dmsim::Client& client, common::Key start, size_t 
           ok = false;
           break;
         }
-        client.Read(cur, buf.data(), leaf_bytes);
+        VRead(client, cur, buf.data(), leaf_bytes);
       }
       if (!ok || !leaf.meta.valid) {
         break;
@@ -178,12 +179,18 @@ size_t ChimeTree::ScanInternal(dmsim::Client& client, common::Key start, size_t 
       batch.push_back({common::GlobalAddress::Unpack((*out)[i].second), blocks[i].data(),
                        static_cast<uint32_t>(options_.indirect_block_bytes)});
     }
-    client.ReadBatch(batch);
+    VReadBatch(client, batch);
     for (size_t i = 0; i < out->size(); ++i) {
       common::Value v = 0;
       std::memcpy(&v, blocks[i].data() + 8, 8);
       (*out)[i].second = v;
     }
+  }
+  } catch (const dmsim::VerbError&) {
+    // Scans hold no locks: close the op bracket, drop partial results, surface the failure.
+    out->clear();
+    client.AbortOp();
+    throw;
   }
 
   client.EndOp(dmsim::OpType::kScan);
@@ -201,22 +208,27 @@ std::vector<std::pair<common::Key, common::Value>> ChimeTree::DumpAll(dmsim::Cli
   const LeafLayout& L = leaf_layout_;
   common::GlobalAddress cur = ref.addr;
   std::vector<uint8_t> buf(L.lock_offset());
-  while (!cur.is_null()) {
-    ParsedLeaf leaf;
-    int retry = 0;
-    do {
-      client.Read(cur, buf.data(), static_cast<uint32_t>(buf.size()));
-    } while (!ParseLeafImage(L, buf.data(), &leaf) && ++retry < kMaxReadRetries);
-    for (const LeafEntry& e : leaf.entries) {
-      if (e.used) {
-        common::Value v = e.value;
-        if (options_.indirect_values) {
-          ReadIndirectBlock(client, common::GlobalAddress::Unpack(e.value), e.key, &v);
+  try {
+    while (!cur.is_null()) {
+      ParsedLeaf leaf;
+      int retry = 0;
+      do {
+        VRead(client, cur, buf.data(), static_cast<uint32_t>(buf.size()));
+      } while (!ParseLeafImage(L, buf.data(), &leaf) && ++retry < kMaxReadRetries);
+      for (const LeafEntry& e : leaf.entries) {
+        if (e.used) {
+          common::Value v = e.value;
+          if (options_.indirect_values) {
+            ReadIndirectBlock(client, common::GlobalAddress::Unpack(e.value), e.key, &v);
+          }
+          all.emplace_back(e.key, v);
         }
-        all.emplace_back(e.key, v);
       }
+      cur = leaf.meta.sibling;
     }
-    cur = leaf.meta.sibling;
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
   }
   client.AbortOp();
   std::sort(all.begin(), all.end());
@@ -238,6 +250,7 @@ bool ChimeTree::ValidateStructure(dmsim::Client& client, std::string* why) {
   common::Key prev_max = 0;
   int leaf_index = 0;
   bool ok = true;
+  try {
   while (!cur.is_null() && ok) {
     Window full;
     if (!ReadWindow(client, cur, 0, span, -1, &full, nullptr, nullptr)) {
@@ -247,7 +260,7 @@ bool ChimeTree::ValidateStructure(dmsim::Client& client, std::string* why) {
     }
     // Lock word.
     uint64_t lock_word = 0;
-    client.Read(cur + L.lock_offset(), &lock_word, 8);
+    VRead(client, cur + L.lock_offset(), &lock_word, 8);
     if (LeafLock::Locked(lock_word)) {
       *why = "leaf left locked";
       ok = false;
@@ -316,6 +329,10 @@ bool ChimeTree::ValidateStructure(dmsim::Client& client, std::string* why) {
     cur = full.meta.sibling;
     leaf_index++;
   }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
+  }
   client.AbortOp();
   return ok;
 }
@@ -330,7 +347,7 @@ common::GlobalAddress ChimeTree::WriteIndirectBlock(dmsim::Client& client, commo
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
   std::memcpy(buf.data(), &key, 8);
   std::memcpy(buf.data() + 8, &value, 8);
-  client.Write(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  VWrite(client, block, buf.data(), static_cast<uint32_t>(buf.size()));
   return block;
 }
 
@@ -340,7 +357,7 @@ bool ChimeTree::ReadIndirectBlock(dmsim::Client& client, common::GlobalAddress b
     return false;
   }
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
-  client.Read(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  VRead(client, block, buf.data(), static_cast<uint32_t>(buf.size()));
   common::Key stored = 0;
   std::memcpy(&stored, buf.data(), 8);
   if (stored != key) {

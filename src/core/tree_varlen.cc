@@ -38,7 +38,7 @@ common::GlobalAddress ChimeTree::WriteVarBlock(dmsim::Client& client, std::strin
   std::memcpy(buf.data() + 4 + key.size(), value.data(), value.size());
   const common::GlobalAddress block =
       client.Alloc(static_cast<size_t>(options_.indirect_block_bytes), 8);
-  client.Write(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  VWrite(client, block, buf.data(), static_cast<uint32_t>(buf.size()));
   return block;
 }
 
@@ -48,7 +48,7 @@ bool ChimeTree::ReadVarBlock(dmsim::Client& client, common::GlobalAddress block,
     return false;
   }
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
-  client.Read(block, buf.data(), static_cast<uint32_t>(buf.size()));
+  VRead(client, block, buf.data(), static_cast<uint32_t>(buf.size()));
   const size_t klen = static_cast<size_t>(buf[0]) | (static_cast<size_t>(buf[1]) << 8);
   const size_t vlen = static_cast<size_t>(buf[2]) | (static_cast<size_t>(buf[3]) << 8);
   if (4 + klen + vlen > buf.size() || klen == 0) {
@@ -69,6 +69,7 @@ bool ChimeTree::SearchVar(dmsim::Client& client, std::string_view key, std::stri
 
   client.BeginOp();
   bool found = false;
+  try {
   for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
     LeafRef ref;
     if (!LocateLeaf(client, fp, &ref)) {
@@ -102,6 +103,10 @@ bool ChimeTree::SearchVar(dmsim::Client& client, std::string_view key, std::stri
       break;
     }
   }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
+  }
   client.EndOp(dmsim::OpType::kSearch);
   return found;
 }
@@ -111,7 +116,13 @@ void ChimeTree::InsertVar(dmsim::Client& client, std::string_view key,
   assert(options_.indirect_values && "variable-length mode requires indirect_values");
   assert(!key.empty());
   client.BeginOp();
-  const common::GlobalAddress block = WriteVarBlock(client, key, value);
+  common::GlobalAddress block;
+  try {
+    block = WriteVarBlock(client, key, value);
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
+  }
   client.AbortOp();
   VarContext var;
   var.full_key = key;
@@ -124,7 +135,13 @@ bool ChimeTree::UpdateVar(dmsim::Client& client, std::string_view key,
   assert(options_.indirect_values && "variable-length mode requires indirect_values");
   assert(!key.empty());
   client.BeginOp();
-  const common::GlobalAddress block = WriteVarBlock(client, key, value);
+  common::GlobalAddress block;
+  try {
+    block = WriteVarBlock(client, key, value);
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
+  }
   client.AbortOp();
   VarContext var;
   var.full_key = key;
@@ -133,6 +150,7 @@ bool ChimeTree::UpdateVar(dmsim::Client& client, std::string_view key,
 
   client.BeginOp();
   bool found = false;
+  try {
   for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
     LeafRef ref;
     if (!LocateLeaf(client, fp, &ref)) {
@@ -143,8 +161,14 @@ bool ChimeTree::UpdateVar(dmsim::Client& client, std::string_view key,
     for (int hops = 0; hops < 64 && !done && !descend_again; ++hops) {
       const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
       common::GlobalAddress sibling;
-      const MutateResult r = TryMutateLocked(client, ref, fp, lock_word, /*is_delete=*/false,
-                                             var.encoded_value, &sibling, &var);
+      MutateResult r;
+      try {
+        r = TryMutateLocked(client, ref, fp, lock_word, /*is_delete=*/false,
+                            var.encoded_value, &sibling, &var);
+      } catch (const dmsim::VerbError&) {
+        AbandonLeafLock(client, ref.addr, lock_word);
+        throw;
+      }
       switch (r) {
         case MutateResult::kDone:
           found = true;
@@ -171,6 +195,10 @@ bool ChimeTree::UpdateVar(dmsim::Client& client, std::string_view key,
       break;
     }
   }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
+  }
   client.EndOp(dmsim::OpType::kUpdate);
   return found;
 }
@@ -184,6 +212,7 @@ bool ChimeTree::DeleteVar(dmsim::Client& client, std::string_view key) {
 
   client.BeginOp();
   bool found = false;
+  try {
   for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
     LeafRef ref;
     if (!LocateLeaf(client, fp, &ref)) {
@@ -194,8 +223,14 @@ bool ChimeTree::DeleteVar(dmsim::Client& client, std::string_view key) {
     for (int hops = 0; hops < 64 && !done && !descend_again; ++hops) {
       const uint64_t lock_word = AcquireLeafLock(client, ref.addr);
       common::GlobalAddress sibling;
-      const MutateResult r = TryMutateLocked(client, ref, fp, lock_word, /*is_delete=*/true,
-                                             0, &sibling, &var);
+      MutateResult r;
+      try {
+        r = TryMutateLocked(client, ref, fp, lock_word, /*is_delete=*/true, 0, &sibling,
+                            &var);
+      } catch (const dmsim::VerbError&) {
+        AbandonLeafLock(client, ref.addr, lock_word);
+        throw;
+      }
       switch (r) {
         case MutateResult::kDone:
           found = true;
@@ -221,6 +256,10 @@ bool ChimeTree::DeleteVar(dmsim::Client& client, std::string_view key) {
     if (done) {
       break;
     }
+  }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
   }
   client.EndOp(dmsim::OpType::kDelete);
   return found;
@@ -242,13 +281,18 @@ size_t ChimeTree::ScanVar(dmsim::Client& client, std::string_view start, size_t 
   client.BeginOp();
   std::vector<std::pair<std::string, std::string>> resolved;
   resolved.reserve(raw.size());
-  for (const auto& [fp, block_ptr] : raw) {
-    std::string k;
-    std::string v;
-    if (ReadVarBlock(client, common::GlobalAddress::Unpack(block_ptr), &k, &v) &&
-        k >= std::string(start)) {
-      resolved.emplace_back(std::move(k), std::move(v));
+  try {
+    for (const auto& [fp, block_ptr] : raw) {
+      std::string k;
+      std::string v;
+      if (ReadVarBlock(client, common::GlobalAddress::Unpack(block_ptr), &k, &v) &&
+          k >= std::string(start)) {
+        resolved.emplace_back(std::move(k), std::move(v));
+      }
     }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
   }
   client.AbortOp();
   std::sort(resolved.begin(), resolved.end());

@@ -6,7 +6,27 @@
 
 namespace dmsim {
 
-Client::Client(MemoryPool* pool, int client_id) : pool_(pool), client_id_(client_id) {}
+Client::Client(MemoryPool* pool, int client_id) : pool_(pool), client_id_(client_id) {
+  if (pool_->config().fault.any_enabled()) {
+    injector_ = std::make_unique<FaultInjector>(pool_->config().fault, client_id);
+  }
+}
+
+void Client::MaybeInjectTimeout(common::GlobalAddress addr, const char* verb) {
+  if (injector_ == nullptr || !injector_->ShouldTimeout()) {
+    return;
+  }
+  // The request consumed a work-queue element and a full transport-retry interval before the
+  // requester gave up; the responder applied nothing.
+  NicModel& nic = pool_->node_for(addr).nic();
+  nic.ChargeVerbs(1);
+  op_latency_ns_ += injector_->config().timeout_latency_ns;
+  op_rtts_ += 1;
+  op_verbs_ += 1;
+  op_injected_faults_ += 1;
+  throw VerbError(VerbError::Kind::kTimeout,
+                  std::string("injected NIC timeout on ") + verb);
+}
 
 uint8_t* Client::Resolve(common::GlobalAddress addr, uint32_t len) {
   MemoryNode& node = pool_->node_for(addr);
@@ -45,25 +65,53 @@ void Client::ChargeAtomic(NicModel& nic) {
 }
 
 void Client::Read(common::GlobalAddress addr, void* dst, uint32_t len) {
+  MaybeInjectTimeout(addr, "READ");
   const uint8_t* src = Resolve(addr, len);
+  uint8_t* local = static_cast<uint8_t*>(dst);
   // Block-atomic copy: each 64-byte block is observed whole, but a multi-block READ
   // concurrent with a WRITE can mix blocks from before and after the write — exactly the
-  // RDMA visibility model the index-level version protocols must handle.
-  pool_->fabric().CopyOut(src, static_cast<uint8_t*>(dst), len);
+  // RDMA visibility model the index-level version protocols must handle. The injector can
+  // split the copy at a line boundary with a delay in between, manufacturing that
+  // interleaving on demand instead of leaving it to scheduling luck.
+  const uint32_t cut =
+      injector_ != nullptr ? injector_->TearCut(len, addr.offset, /*is_write=*/false) : 0;
+  if (cut > 0) {
+    pool_->fabric().CopyOut(src, local, cut);
+    op_injected_faults_ += 1;
+    injector_->Delay();
+    pool_->fabric().CopyOut(src + cut, local + cut, len - cut);
+  } else {
+    pool_->fabric().CopyOut(src, local, len);
+  }
   NicModel& nic = pool_->node_for(addr).nic();
   ChargeRead(nic, len, 1, nic.VerbLatencyNs(len));
 }
 
 void Client::Write(common::GlobalAddress addr, const void* src, uint32_t len) {
+  MaybeInjectTimeout(addr, "WRITE");
   uint8_t* dst = Resolve(addr, len);
-  pool_->fabric().CopyIn(dst, static_cast<const uint8_t*>(src), len);
+  const uint8_t* local = static_cast<const uint8_t*>(src);
+  const uint32_t cut =
+      injector_ != nullptr ? injector_->TearCut(len, addr.offset, /*is_write=*/true) : 0;
+  if (cut > 0) {
+    pool_->fabric().CopyIn(dst, local, cut);
+    op_injected_faults_ += 1;
+    injector_->Delay();
+    pool_->fabric().CopyIn(dst + cut, local + cut, len - cut);
+  } else {
+    pool_->fabric().CopyIn(dst, local, len);
+  }
   NicModel& nic = pool_->node_for(addr).nic();
   ChargeWrite(nic, len, 1, nic.VerbLatencyNs(len));
 }
 
 uint64_t Client::Cas(common::GlobalAddress addr, uint64_t compare, uint64_t swap) {
+  MaybeInjectTimeout(addr, "CAS");
   uint8_t* p = Resolve(addr, 8);
   assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
+  if (injector_ != nullptr && injector_->ShouldFailCas()) {
+    return SpuriousCasFailure(addr, p, compare, ~uint64_t{0});
+  }
   const uint64_t old = pool_->fabric().AtomicWord(
       p, [&](uint64_t cur) { return cur == compare ? swap : cur; });
   ChargeAtomic(pool_->node_for(addr).nic());
@@ -72,8 +120,12 @@ uint64_t Client::Cas(common::GlobalAddress addr, uint64_t compare, uint64_t swap
 
 uint64_t Client::MaskedCas(common::GlobalAddress addr, uint64_t compare, uint64_t swap,
                            uint64_t compare_mask, uint64_t swap_mask) {
+  MaybeInjectTimeout(addr, "MASKED_CAS");
   uint8_t* p = Resolve(addr, 8);
   assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
+  if (injector_ != nullptr && injector_->ShouldFailCas()) {
+    return SpuriousCasFailure(addr, p, compare, compare_mask);
+  }
   const uint64_t old = pool_->fabric().AtomicWord(p, [&](uint64_t cur) {
     if ((cur & compare_mask) == (compare & compare_mask)) {
       return (cur & ~swap_mask) | (swap & swap_mask);
@@ -84,7 +136,20 @@ uint64_t Client::MaskedCas(common::GlobalAddress addr, uint64_t compare, uint64_
   return old;
 }
 
+uint64_t Client::SpuriousCasFailure(common::GlobalAddress addr, uint8_t* word_ptr,
+                                    uint64_t compare, uint64_t compare_mask) {
+  // Suppress the swap and report an observed value whose compared bits are flipped relative
+  // to `compare` — indistinguishable from another client having won the word an instant
+  // earlier. Uncompared bits carry the word's real contents (e.g. CHIME's piggybacked
+  // vacancy bitmap stays truthful while the lock bit looks taken).
+  const uint64_t cur = pool_->fabric().AtomicWord(word_ptr, [](uint64_t v) { return v; });
+  op_injected_faults_ += 1;
+  ChargeAtomic(pool_->node_for(addr).nic());
+  return (~compare & compare_mask) | (cur & ~compare_mask);
+}
+
 uint64_t Client::FetchAdd(common::GlobalAddress addr, uint64_t delta) {
+  MaybeInjectTimeout(addr, "FETCH_ADD");
   uint8_t* p = Resolve(addr, 8);
   assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
   const uint64_t old =
@@ -97,9 +162,22 @@ void Client::ReadBatch(const std::vector<BatchEntry>& entries) {
   if (entries.empty()) {
     return;
   }
+  // One doorbell, one fabric round trip: a timeout fails the whole batch atomically.
+  MaybeInjectTimeout(entries[0].addr, "READ_BATCH");
   uint64_t total_bytes = 0;
   for (const auto& e : entries) {
-    pool_->fabric().CopyOut(Resolve(e.addr, e.len), static_cast<uint8_t*>(e.local), e.len);
+    const uint8_t* src = Resolve(e.addr, e.len);
+    uint8_t* local = static_cast<uint8_t*>(e.local);
+    const uint32_t cut =
+        injector_ != nullptr ? injector_->TearCut(e.len, e.addr.offset, false) : 0;
+    if (cut > 0) {
+      pool_->fabric().CopyOut(src, local, cut);
+      op_injected_faults_ += 1;
+      injector_->Delay();
+      pool_->fabric().CopyOut(src + cut, local + cut, e.len - cut);
+    } else {
+      pool_->fabric().CopyOut(src, local, e.len);
+    }
     total_bytes += e.len;
   }
   // All batched verbs target the same MN in our layouts; charge the first entry's NIC.
@@ -111,10 +189,21 @@ void Client::WriteBatch(const std::vector<BatchEntry>& entries) {
   if (entries.empty()) {
     return;
   }
+  MaybeInjectTimeout(entries[0].addr, "WRITE_BATCH");
   uint64_t total_bytes = 0;
   for (const auto& e : entries) {
-    pool_->fabric().CopyIn(Resolve(e.addr, e.len), static_cast<const uint8_t*>(e.local),
-                           e.len);
+    uint8_t* dst = Resolve(e.addr, e.len);
+    const uint8_t* local = static_cast<const uint8_t*>(e.local);
+    const uint32_t cut =
+        injector_ != nullptr ? injector_->TearCut(e.len, e.addr.offset, true) : 0;
+    if (cut > 0) {
+      pool_->fabric().CopyIn(dst, local, cut);
+      op_injected_faults_ += 1;
+      injector_->Delay();
+      pool_->fabric().CopyIn(dst + cut, local + cut, e.len - cut);
+    } else {
+      pool_->fabric().CopyIn(dst, local, e.len);
+    }
     total_bytes += e.len;
   }
   NicModel& nic = pool_->node_for(entries[0].addr).nic();
@@ -160,6 +249,7 @@ void Client::BeginOp() {
   op_retries_ = 0;
   op_cache_hits_ = 0;
   op_cache_misses_ = 0;
+  op_injected_faults_ = 0;
 }
 
 void Client::EndOp(OpType type) {
@@ -174,6 +264,7 @@ void Client::EndOp(OpType type) {
   s.retries += op_retries_;
   s.cache_hits += op_cache_hits_;
   s.cache_misses += op_cache_misses_;
+  s.injected_faults += op_injected_faults_;
   if (op_rtts_ < s.min_rtts_per_op) {
     s.min_rtts_per_op = op_rtts_;
   }

@@ -8,9 +8,11 @@
 #define SRC_DMSIM_CLIENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/dmsim/fault_injector.h"
 #include "src/dmsim/op_stats.h"
 #include "src/dmsim/pool.h"
 
@@ -33,7 +35,15 @@ class Client {
   int client_id() const { return client_id_; }
   MemoryPool& pool() { return *pool_; }
 
+  // The client's fault injector (null unless the pool's FaultConfig has a knob enabled).
+  FaultInjector* injector() { return injector_.get(); }
+  const FaultInjector* injector() const { return injector_.get(); }
+
   // ---- One-sided verbs -------------------------------------------------------------------
+  //
+  // With fault injection armed, any verb may throw a retryable dmsim::VerbError (a NIC
+  // timeout: the responder applied nothing). Consumers bound their own retries — see
+  // src/dmsim/verb_retry.h.
 
   void Read(common::GlobalAddress addr, void* dst, uint32_t len);
   void Write(common::GlobalAddress addr, const void* src, uint32_t len);
@@ -70,6 +80,8 @@ class Client {
   void CountRetry() { op_retries_++; }
   void CountCacheHit() { op_cache_hits_++; }
   void CountCacheMiss() { op_cache_misses_++; }
+  // Charges consumer-side delay (e.g. timeout-retry backoff) to the current op's latency.
+  void ChargeDelayNs(double ns) { op_latency_ns_ += ns; }
 
   // Simulated time consumed by the verbs of the current op so far (ns).
   double CurrentOpLatencyNs() const { return op_latency_ns_; }
@@ -83,9 +95,16 @@ class Client {
   void ChargeRead(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns);
   void ChargeWrite(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns);
   void ChargeAtomic(NicModel& nic);
+  // Pre-verb injection gate: throws VerbError when this verb times out (charging the wasted
+  // work-queue element first).
+  void MaybeInjectTimeout(common::GlobalAddress addr, const char* verb);
+  // Suppressed swap + fabricated mismatching observed value for forced CAS failures.
+  uint64_t SpuriousCasFailure(common::GlobalAddress addr, uint8_t* word_ptr, uint64_t compare,
+                              uint64_t compare_mask);
 
   MemoryPool* pool_;
   int client_id_;
+  std::unique_ptr<FaultInjector> injector_;
 
   // Current chunk for bump allocation.
   common::GlobalAddress chunk_base_ = common::GlobalAddress::Null();
@@ -102,6 +121,7 @@ class Client {
   uint64_t op_retries_ = 0;
   uint64_t op_cache_hits_ = 0;
   uint64_t op_cache_misses_ = 0;
+  uint64_t op_injected_faults_ = 0;
 
   ClientStats stats_;
 };

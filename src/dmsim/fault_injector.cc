@@ -1,0 +1,23 @@
+#include "src/dmsim/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace dmsim {
+
+void FaultInjector::Delay() const {
+  if (config_.tear_delay_ns <= 0) {
+    std::this_thread::yield();
+    return;
+  }
+  // Busy-wait with yields: long enough for a concurrent writer to land between the two verb
+  // halves, short enough to keep hostile test runs fast. Wall time here never feeds back
+  // into fault decisions, so determinism of the injected sequence is unaffected.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(static_cast<int64_t>(config_.tear_delay_ns));
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace dmsim

@@ -1,0 +1,168 @@
+// Verb-level fault injection for the disaggregated-memory substrate.
+//
+// dmsim::Client executes verbs faithfully; on real hardware, though, the fabric misbehaves in
+// three ways the index-level protocols must survive: multi-cache-line verbs interleave with
+// concurrent writers (torn reads), atomics lose races, and transport retries get exhausted
+// (verb timeouts). The FaultInjector makes each of those failure modes available on demand so
+// tests can impose them deterministically instead of waiting for thread scheduling to oblige.
+//
+// One injector per client, seeded from FaultConfig::seed and the client id: a fixed seed and
+// a single client yield the identical fault sequence on every run. Every decision draws from
+// the injector's private RNG stream in verb order, so counts are reproducible; the injected
+// *delays* use wall time but never influence which faults fire.
+#ifndef SRC_DMSIM_FAULT_INJECTOR_H_
+#define SRC_DMSIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/common/rand.h"
+#include "src/dmsim/sim_config.h"
+
+namespace dmsim {
+
+// A verb that failed at the transport layer. Retryable errors correspond to requester-side
+// timeouts where the responder applied nothing; callers may safely re-issue the verb.
+class VerbError : public std::runtime_error {
+ public:
+  enum class Kind { kTimeout };
+
+  VerbError(Kind kind, const std::string& what) : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+  bool retryable() const { return kind_ == Kind::kTimeout; }
+
+ private:
+  Kind kind_;
+};
+
+// Per-kind totals of faults the injector actually fired (suppressed draws do not count).
+struct FaultCounts {
+  uint64_t torn_reads = 0;
+  uint64_t torn_writes = 0;
+  uint64_t cas_failures = 0;
+  uint64_t timeouts = 0;
+
+  uint64_t total() const { return torn_reads + torn_writes + cas_failures + timeouts; }
+
+  bool operator==(const FaultCounts& o) const {
+    return torn_reads == o.torn_reads && torn_writes == o.torn_writes &&
+           cas_failures == o.cas_failures && timeouts == o.timeouts;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, int client_id)
+      : config_(config),
+        rng_(common::Mix64(config.seed) ^
+             common::Mix64(0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(client_id + 2))) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultConfig& config() const { return config_; }
+  const FaultCounts& counts() const { return counts_; }
+
+  // ---- Decision hooks (called by Client, one per verb) -------------------------------------
+
+  // True when this verb should time out (count it; the client throws VerbError).
+  bool ShouldTimeout() {
+    if (!Armed() || config_.timeout_prob <= 0 || !Draw(config_.timeout_prob)) {
+      return false;
+    }
+    counts_.timeouts++;
+    return true;
+  }
+
+  // True when this CAS/masked-CAS should spuriously fail (count it; the client suppresses
+  // the swap and fabricates a mismatching observed value).
+  bool ShouldFailCas() {
+    if (!Armed() || config_.cas_fail_prob <= 0 || !Draw(config_.cas_fail_prob)) {
+      return false;
+    }
+    counts_.cas_failures++;
+    return true;
+  }
+
+  // Returns the byte offset (> 0) at which a READ/WRITE of `len` bytes starting at remote
+  // alignment `addr_align` should be split with a delay in between, or 0 for no tear. The
+  // cut always lands on a 64-byte remote cache-line boundary strictly inside the verb, so
+  // both halves stay block-atomic and the interleaving window sits exactly where real NICs
+  // expose one.
+  uint32_t TearCut(uint32_t len, uint64_t addr_align, bool is_write) {
+    const double prob = is_write ? config_.tear_write_prob : config_.tear_read_prob;
+    if (!Armed() || prob <= 0) {
+      return 0;
+    }
+    const uint32_t first = static_cast<uint32_t>(64 - addr_align % 64) % 64;
+    const uint32_t lo = first == 0 ? 64 : first;  // first boundary strictly inside the verb
+    if (lo >= len) {
+      return 0;  // single-block verb: atomic by the fabric model, nothing to tear
+    }
+    if (!Draw(prob)) {
+      return 0;
+    }
+    const uint32_t boundaries = (len - lo - 1) / 64 + 1;
+    const uint32_t cut = lo + 64 * static_cast<uint32_t>(rng_.Uniform(boundaries));
+    if (is_write) {
+      counts_.torn_writes++;
+    } else {
+      counts_.torn_reads++;
+    }
+    return cut;
+  }
+
+  // The mid-verb window: busy-waits for config.tear_delay_ns (a bare yield when 0) so a
+  // concurrent writer can land between the two halves.
+  void Delay() const;
+
+  // ---- Suspension --------------------------------------------------------------------------
+  //
+  // Error-path cleanup (e.g. abandoning a leaf lock after a timeout-retry budget is
+  // exhausted) must not itself be failed, or a single fault could wedge the tree forever —
+  // the stand-in for the lock-lease/QP-reset recovery a real deployment performs out of
+  // band. Suspension nests.
+
+  void Suspend() { suspended_++; }
+  void Resume() { suspended_--; }
+  bool suspended() const { return suspended_ > 0; }
+
+  class ScopedSuspend {
+   public:
+    explicit ScopedSuspend(FaultInjector* injector) : injector_(injector) {
+      if (injector_ != nullptr) {
+        injector_->Suspend();
+      }
+    }
+    ~ScopedSuspend() {
+      if (injector_ != nullptr) {
+        injector_->Resume();
+      }
+    }
+    ScopedSuspend(const ScopedSuspend&) = delete;
+    ScopedSuspend& operator=(const ScopedSuspend&) = delete;
+
+   private:
+    FaultInjector* injector_;
+  };
+
+  // Master switch, e.g. to quiesce injection before structure validation.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool Armed() const { return enabled_ && suspended_ == 0; }
+  bool Draw(double prob) { return rng_.NextDouble() < prob; }
+
+  FaultConfig config_;
+  common::Rng rng_;
+  FaultCounts counts_;
+  int suspended_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_FAULT_INJECTOR_H_

@@ -30,9 +30,10 @@ struct OpTypeStats {
   uint64_t verbs = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
-  uint64_t retries = 0;       // read-validation or lock-fail retries
-  uint64_t cache_hits = 0;    // index-cache traversal shortcuts
-  uint64_t cache_misses = 0;  // remote internal-node reads
+  uint64_t retries = 0;          // read-validation or lock-fail retries
+  uint64_t cache_hits = 0;       // index-cache traversal shortcuts
+  uint64_t cache_misses = 0;     // remote internal-node reads
+  uint64_t injected_faults = 0;  // faults the FaultInjector fired during these ops
   uint64_t min_rtts_per_op = UINT64_MAX;
   uint64_t max_rtts_per_op = 0;
   common::Histogram latency_ns;
@@ -46,6 +47,7 @@ struct OpTypeStats {
     retries += other.retries;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    injected_faults += other.injected_faults;
     if (other.ops > 0) {
       min_rtts_per_op = min_rtts_per_op < other.min_rtts_per_op ? min_rtts_per_op
                                                                 : other.min_rtts_per_op;

@@ -27,6 +27,38 @@ struct NicParams {
   double atomic_extra_ns = 500.0;
 };
 
+// Knobs of the adversarial fault-injection layer (src/dmsim/fault_injector.h). All
+// probabilities are per-verb; everything defaults to off, so unconfigured runs behave exactly
+// like the fault-free substrate. Each client derives its own deterministic RNG stream from
+// `seed` and its client id, so a single-client run with a fixed seed injects an identical
+// fault sequence every time (the seeding contract the determinism tests pin down).
+struct FaultConfig {
+  uint64_t seed = 1;
+  // Probability that a multi-cache-line READ (resp. WRITE) is split at a random 64-byte
+  // boundary with a delay in between, deterministically manufacturing the torn reads the
+  // index-level version protocols must detect.
+  double tear_read_prob = 0.0;
+  double tear_write_prob = 0.0;
+  // Wall-clock width of the injected mid-verb window (busy-wait; 0 = a bare yield). The
+  // delay widens the race window but never influences which faults fire.
+  double tear_delay_ns = 2000.0;
+  // Probability that a CAS / masked-CAS spuriously fails: the swap is suppressed and the
+  // returned "observed" value has the compared bits flipped, exactly as if another client
+  // had beaten us to the word. Widens lock-race windows. Consumers must treat CAS failure
+  // as contention (retry or re-validate) — CHIME's lock paths and root swing do.
+  double cas_fail_prob = 0.0;
+  // Probability that a verb times out: no bytes move, the NIC charges one wasted
+  // work-queue element plus `timeout_latency_ns`, and the client surfaces a retryable
+  // VerbError (a requester-side RNR/transport retry exceeded, before the responder applied
+  // anything).
+  double timeout_prob = 0.0;
+  double timeout_latency_ns = 10000.0;
+
+  bool any_enabled() const {
+    return tear_read_prob > 0 || tear_write_prob > 0 || cas_fail_prob > 0 || timeout_prob > 0;
+  }
+};
+
 struct SimConfig {
   int num_memory_nodes = 1;
   size_t region_bytes_per_mn = 512ULL << 20;
@@ -36,6 +68,9 @@ struct SimConfig {
   double rpc_latency_ns = 10000.0;
   // Size of a memory chunk handed to a client per allocation RPC (paper §4.2.2 uses 16 MB).
   size_t chunk_bytes = 16ULL << 20;
+  // Fault injection; off by default. Every Client constructed against a pool with any knob
+  // nonzero gets its own seeded FaultInjector.
+  FaultConfig fault;
 };
 
 }  // namespace dmsim

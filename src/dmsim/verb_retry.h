@@ -1,0 +1,91 @@
+// Consumer-side bounded retry with backoff for timed-out verbs.
+//
+// A retryable VerbError means the responder applied nothing, so re-issuing the verb is always
+// safe — even while holding a remote lock. Indexes wrap their verb call sites with these
+// helpers and pick their own budget; when the budget is exhausted the error propagates so the
+// operation can fail cleanly instead of spinning forever against a dead fabric.
+#ifndef SRC_DMSIM_VERB_RETRY_H_
+#define SRC_DMSIM_VERB_RETRY_H_
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/dmsim/client.h"
+#include "src/dmsim/fault_injector.h"
+
+namespace dmsim {
+
+struct VerbRetryPolicy {
+  // Total attempts per verb, including the first (>= 1).
+  int max_attempts = 8;
+  // Exponential backoff charged to the op's simulated latency: base * 2^attempt, capped.
+  double backoff_base_ns = 1000.0;
+  double backoff_cap_ns = 64000.0;
+};
+
+// Runs `fn`, retrying it on retryable VerbErrors per `policy`. Non-retryable errors and
+// budget exhaustion propagate to the caller.
+template <typename Fn>
+decltype(auto) WithVerbRetry(Client& client, const VerbRetryPolicy& policy, Fn&& fn) {
+  double backoff_ns = policy.backoff_base_ns;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const VerbError& e) {
+      if (!e.retryable() || attempt >= std::max(policy.max_attempts, 1)) {
+        throw;
+      }
+      client.CountRetry();
+      client.ChargeDelayNs(backoff_ns);
+      backoff_ns = std::min(backoff_ns * 2, policy.backoff_cap_ns);
+      std::this_thread::yield();
+    }
+  }
+}
+
+// Convenience wrappers mirroring the Client verb surface.
+namespace retry {
+
+inline void Read(Client& c, const VerbRetryPolicy& p, common::GlobalAddress addr, void* dst,
+                 uint32_t len) {
+  WithVerbRetry(c, p, [&] { c.Read(addr, dst, len); });
+}
+
+inline void Write(Client& c, const VerbRetryPolicy& p, common::GlobalAddress addr,
+                  const void* src, uint32_t len) {
+  WithVerbRetry(c, p, [&] { c.Write(addr, src, len); });
+}
+
+inline uint64_t Cas(Client& c, const VerbRetryPolicy& p, common::GlobalAddress addr,
+                    uint64_t compare, uint64_t swap) {
+  return WithVerbRetry(c, p, [&] { return c.Cas(addr, compare, swap); });
+}
+
+inline uint64_t MaskedCas(Client& c, const VerbRetryPolicy& p, common::GlobalAddress addr,
+                          uint64_t compare, uint64_t swap, uint64_t compare_mask,
+                          uint64_t swap_mask) {
+  return WithVerbRetry(c, p,
+                       [&] { return c.MaskedCas(addr, compare, swap, compare_mask, swap_mask); });
+}
+
+inline uint64_t FetchAdd(Client& c, const VerbRetryPolicy& p, common::GlobalAddress addr,
+                         uint64_t delta) {
+  return WithVerbRetry(c, p, [&] { return c.FetchAdd(addr, delta); });
+}
+
+inline void ReadBatch(Client& c, const VerbRetryPolicy& p,
+                      const std::vector<BatchEntry>& entries) {
+  WithVerbRetry(c, p, [&] { c.ReadBatch(entries); });
+}
+
+inline void WriteBatch(Client& c, const VerbRetryPolicy& p,
+                       const std::vector<BatchEntry>& entries) {
+  WithVerbRetry(c, p, [&] { c.WriteBatch(entries); });
+}
+
+}  // namespace retry
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_VERB_RETRY_H_

@@ -401,6 +401,67 @@ TEST(ShermanTest, DeleteWorks) {
   EXPECT_TRUE(sherman.Search(c, 151, &v));
 }
 
+// ---- Fault tolerance: every index survives injected tears and NIC timeouts -------------------
+//
+// Tear + timeout only: forced CAS failures fabricate mismatching observed values, and
+// SMART's slot protocol (legitimately) interprets observed CAS values as data, so that knob
+// is reserved for indexes whose CAS consumers treat failure purely as contention.
+
+dmsim::SimConfig FaultyConfig() {
+  dmsim::SimConfig cfg = TestConfig();
+  cfg.fault.seed = 13;
+  cfg.fault.tear_read_prob = 0.2;
+  cfg.fault.tear_write_prob = 0.2;
+  cfg.fault.tear_delay_ns = 500;
+  cfg.fault.timeout_prob = 0.01;  // the RangeIndex verb-retry policy absorbs these
+  return cfg;
+}
+
+TEST(IndexFaultToleranceTest, EveryIndexSurvivesTearsAndTimeouts) {
+  struct Made {
+    std::unique_ptr<dmsim::MemoryPool> pool;
+    std::unique_ptr<RangeIndex> index;
+  };
+  std::vector<Made> all;
+  {
+    auto pool = std::make_unique<dmsim::MemoryPool>(FaultyConfig());
+    auto idx = std::make_unique<ShermanTree>(pool.get(), ShermanOptions{});
+    all.push_back({std::move(pool), std::move(idx)});
+  }
+  {
+    auto pool = std::make_unique<dmsim::MemoryPool>(FaultyConfig());
+    auto idx = std::make_unique<SmartTree>(pool.get(), SmartOptions{});
+    all.push_back({std::move(pool), std::move(idx)});
+  }
+  {
+    auto pool = std::make_unique<dmsim::MemoryPool>(FaultyConfig());
+    auto idx = std::make_unique<RolexIndex>(pool.get(), RolexOptions{});
+    all.push_back({std::move(pool), std::move(idx)});
+  }
+  {
+    auto pool = std::make_unique<dmsim::MemoryPool>(FaultyConfig());
+    auto idx = std::make_unique<ChimeIndex>(pool.get(), chime::ChimeOptions{});
+    all.push_back({std::move(pool), std::move(idx)});
+  }
+  for (auto& made : all) {
+    dmsim::Client client(made.pool.get(), 0);
+    auto items = SortedItems(2000, 48);
+    made.index->BulkLoad(client, items);
+    for (const auto& [k, v] : items) {
+      common::Value got = 0;
+      ASSERT_TRUE(made.index->Search(client, k, &got)) << made.index->name() << " key " << k;
+      EXPECT_EQ(got, v) << made.index->name();
+    }
+    std::vector<std::pair<common::Key, common::Value>> out;
+    EXPECT_EQ(made.index->Scan(client, items.front().first, 100, &out), 100u)
+        << made.index->name();
+    ASSERT_NE(client.injector(), nullptr);
+    EXPECT_GT(client.injector()->counts().total(), 0u)
+        << made.index->name() << ": injection never fired";
+    EXPECT_GT(client.stats().Combined().injected_faults, 0u) << made.index->name();
+  }
+}
+
 TEST(ShermanTest, SplitsPreserveAllKeys) {
   auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
   ShermanTree sherman(pool.get(), ShermanOptions{});

@@ -1,0 +1,105 @@
+// Seeding contract: a fixed FaultConfig::seed and a single client must produce the identical
+// injected-fault sequence on every run — same per-kind fault counts, same per-op stats, same
+// final tree contents. This is what makes fault-injection test failures replayable.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/core/tree.h"
+#include "src/dmsim/pool.h"
+
+namespace chime {
+namespace {
+
+dmsim::SimConfig FaultyConfig(uint64_t fault_seed) {
+  dmsim::SimConfig cfg;
+  cfg.region_bytes_per_mn = 256ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  cfg.fault.seed = fault_seed;
+  cfg.fault.cas_fail_prob = 0.05;
+  cfg.fault.tear_read_prob = 0.3;
+  cfg.fault.tear_write_prob = 0.3;
+  cfg.fault.tear_delay_ns = 0;  // wall-clock delays never feed back into fault decisions
+  cfg.fault.timeout_prob = 0.02;
+  return cfg;
+}
+
+struct RunResult {
+  dmsim::FaultCounts faults;
+  dmsim::OpTypeStats combined;
+  std::vector<std::pair<common::Key, common::Value>> contents;
+  bool valid = false;
+};
+
+// One fresh pool + tree + single client driving a fixed mixed workload.
+RunResult RunWorkload(uint64_t fault_seed) {
+  dmsim::MemoryPool pool(FaultyConfig(fault_seed));
+  ChimeTree tree(&pool, ChimeOptions{});
+  dmsim::Client client(&pool, 0);
+  common::Rng workload(99);  // workload stream is independent of the fault stream
+  for (int i = 0; i < 8000; ++i) {
+    const common::Key k = workload.Range(1, 3000);
+    const double dice = workload.NextDouble();
+    if (dice < 0.5) {
+      tree.Insert(client, k, static_cast<common::Value>(i + 1));
+    } else if (dice < 0.7) {
+      tree.Update(client, k, static_cast<common::Value>(i + 1));
+    } else if (dice < 0.85) {
+      tree.Delete(client, k);
+    } else {
+      common::Value v = 0;
+      tree.Search(client, k, &v);
+    }
+  }
+  RunResult r;
+  r.faults = client.injector()->counts();
+  r.combined = client.stats().Combined();
+  client.injector()->set_enabled(false);
+  r.contents = tree.DumpAll(client);
+  std::string why;
+  r.valid = tree.ValidateStructure(client, &why);
+  return r;
+}
+
+TEST(DeterminismTest, SameSeedSingleClientReproducesFaultsAndTreeExactly) {
+  const RunResult a = RunWorkload(/*fault_seed=*/31337);
+  const RunResult b = RunWorkload(/*fault_seed=*/31337);
+
+  EXPECT_GT(a.faults.total(), 0u) << "no faults fired; determinism is vacuous";
+  EXPECT_GT(a.faults.torn_reads, 0u);
+  EXPECT_GT(a.faults.cas_failures, 0u);
+  EXPECT_GT(a.faults.timeouts, 0u);
+  EXPECT_TRUE(a.faults == b.faults) << "fault sequences diverged across identical runs";
+
+  EXPECT_EQ(a.combined.injected_faults, b.combined.injected_faults);
+  EXPECT_GT(a.combined.injected_faults, 0u);
+  EXPECT_EQ(a.combined.ops, b.combined.ops);
+  EXPECT_EQ(a.combined.rtts, b.combined.rtts);
+  EXPECT_EQ(a.combined.verbs, b.combined.verbs);
+  EXPECT_EQ(a.combined.bytes_read, b.combined.bytes_read);
+  EXPECT_EQ(a.combined.bytes_written, b.combined.bytes_written);
+  EXPECT_EQ(a.combined.retries, b.combined.retries);
+
+  EXPECT_EQ(a.contents, b.contents);
+  EXPECT_TRUE(a.valid);
+  EXPECT_TRUE(b.valid);
+}
+
+TEST(DeterminismTest, DifferentSeedsDrawDifferentFaultSequences) {
+  const RunResult a = RunWorkload(/*fault_seed=*/1);
+  const RunResult b = RunWorkload(/*fault_seed=*/2);
+  // The workload (and hence the final tree) is fixed; only the fault draws change. With
+  // thousands of draws per run, identical per-kind counts across two independent streams
+  // would be a 1-in-many-millions coincidence — and determinism per seed still guarantees
+  // this test is stable: the two sequences are fixed functions of their seeds.
+  EXPECT_FALSE(a.faults == b.faults);
+  EXPECT_EQ(a.contents, b.contents) << "fault seed must not change operation outcomes";
+  EXPECT_TRUE(a.valid);
+  EXPECT_TRUE(b.valid);
+}
+
+}  // namespace
+}  // namespace chime

@@ -1,0 +1,267 @@
+// Unit tests for the dmsim fault-injection substrate: hook determinism, tear-cut geometry,
+// suspension, and the client-level behavior of each injected fault (timeouts thrown before
+// any memory effect, spurious CAS failures that leave memory untouched, torn copies that
+// still deliver correct bytes on a quiescent region) plus the bounded-retry wrapper.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/dmsim/client.h"
+#include "src/dmsim/fault_injector.h"
+#include "src/dmsim/pool.h"
+#include "src/dmsim/verb_retry.h"
+
+namespace dmsim {
+namespace {
+
+FaultConfig AllOff() { return FaultConfig{}; }
+
+SimConfig PoolConfig(const FaultConfig& fault) {
+  SimConfig cfg;
+  cfg.region_bytes_per_mn = 64ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  cfg.fault = fault;
+  return cfg;
+}
+
+TEST(FaultInjectorTest, AllKnobsOffMeansNoInjectorOnTheClient) {
+  EXPECT_FALSE(AllOff().any_enabled());
+  MemoryPool pool(PoolConfig(AllOff()));
+  Client client(&pool, 0);
+  EXPECT_EQ(client.injector(), nullptr);
+}
+
+TEST(FaultInjectorTest, AnyNonzeroKnobArmsTheClient) {
+  FaultConfig fault;
+  fault.timeout_prob = 0.01;
+  EXPECT_TRUE(fault.any_enabled());
+  MemoryPool pool(PoolConfig(fault));
+  Client client(&pool, 0);
+  ASSERT_NE(client.injector(), nullptr);
+  EXPECT_TRUE(client.injector()->enabled());
+}
+
+TEST(FaultInjectorTest, SameSeedSameClientGivesIdenticalDecisionStream) {
+  FaultConfig fault;
+  fault.seed = 42;
+  fault.timeout_prob = 0.2;
+  fault.cas_fail_prob = 0.2;
+  fault.tear_read_prob = 0.5;
+  FaultInjector a(fault, /*client_id=*/3);
+  FaultInjector b(fault, /*client_id=*/3);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(a.ShouldTimeout(), b.ShouldTimeout());
+    ASSERT_EQ(a.ShouldFailCas(), b.ShouldFailCas());
+    ASSERT_EQ(a.TearCut(1024, 0, false), b.TearCut(1024, 0, false));
+  }
+  EXPECT_EQ(a.counts(), b.counts());
+  EXPECT_GT(a.counts().total(), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentClientsDrawFromDifferentStreams) {
+  FaultConfig fault;
+  fault.seed = 42;
+  fault.timeout_prob = 0.5;
+  FaultInjector a(fault, /*client_id=*/0);
+  FaultInjector b(fault, /*client_id=*/1);
+  int diverged = 0;
+  for (int i = 0; i < 256; ++i) {
+    diverged += a.ShouldTimeout() != b.ShouldTimeout() ? 1 : 0;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultInjectorTest, TearCutLandsOnInteriorCacheLineBoundaries) {
+  FaultConfig fault;
+  fault.tear_read_prob = 1.0;
+  fault.tear_write_prob = 1.0;
+  FaultInjector inj(fault, 0);
+  // Aligned verbs: cuts must be multiples of 64 strictly inside [1, len).
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t cut = inj.TearCut(1024, /*addr_align=*/0, /*is_write=*/false);
+    ASSERT_GT(cut, 0u);
+    ASSERT_LT(cut, 1024u);
+    ASSERT_EQ(cut % 64, 0u);
+  }
+  // Unaligned start: the first interior boundary shifts to 64 - align.
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t cut = inj.TearCut(1000, /*addr_align=*/24, /*is_write=*/true);
+    ASSERT_GT(cut, 0u);
+    ASSERT_LT(cut, 1000u);
+    ASSERT_EQ((cut + 24) % 64, 0u);
+  }
+  // Single-block verbs have no interior boundary: never torn.
+  EXPECT_EQ(inj.TearCut(64, 0, false), 0u);
+  EXPECT_EQ(inj.TearCut(8, 0, false), 0u);
+  EXPECT_EQ(inj.TearCut(40, 24, false), 0u);  // 24..64 spans one block
+  EXPECT_GT(inj.counts().torn_reads, 0u);
+  EXPECT_GT(inj.counts().torn_writes, 0u);
+}
+
+TEST(FaultInjectorTest, SuspensionNestsAndMutesEveryHook) {
+  FaultConfig fault;
+  fault.timeout_prob = 1.0;
+  fault.cas_fail_prob = 1.0;
+  fault.tear_read_prob = 1.0;
+  FaultInjector inj(fault, 0);
+  {
+    FaultInjector::ScopedSuspend outer(&inj);
+    {
+      FaultInjector::ScopedSuspend inner(&inj);
+      EXPECT_FALSE(inj.ShouldTimeout());
+    }
+    EXPECT_TRUE(inj.suspended());
+    EXPECT_FALSE(inj.ShouldTimeout());
+    EXPECT_FALSE(inj.ShouldFailCas());
+    EXPECT_EQ(inj.TearCut(1024, 0, false), 0u);
+  }
+  EXPECT_FALSE(inj.suspended());
+  EXPECT_EQ(inj.counts().total(), 0u);
+  EXPECT_TRUE(inj.ShouldTimeout());
+  // The null injector is accepted (clients with injection off).
+  FaultInjector::ScopedSuspend null_ok(nullptr);
+}
+
+TEST(FaultInjectorTest, SetEnabledFalseQuiescesInjection) {
+  FaultConfig fault;
+  fault.timeout_prob = 1.0;
+  FaultInjector inj(fault, 0);
+  inj.set_enabled(false);
+  EXPECT_FALSE(inj.ShouldTimeout());
+  inj.set_enabled(true);
+  EXPECT_TRUE(inj.ShouldTimeout());
+}
+
+TEST(FaultInjectorTest, InjectedTimeoutThrowsBeforeAnyMemoryEffect) {
+  FaultConfig fault;
+  fault.timeout_prob = 1.0;
+  MemoryPool pool(PoolConfig(fault));
+  Client client(&pool, 0);
+  client.BeginOp();
+  const common::GlobalAddress addr = client.Alloc(64, 8);
+  const uint64_t before = 0x1122334455667788ULL;
+  {
+    FaultInjector::ScopedSuspend quiet(client.injector());
+    client.Write(addr, &before, 8);
+  }
+  uint64_t payload = 0xDEADBEEFULL;
+  EXPECT_THROW(client.Write(addr, &payload, 8), VerbError);
+  uint64_t got = 0;
+  EXPECT_THROW(client.Read(addr, &got, 8), VerbError);
+  {
+    // The failed WRITE must have had no effect on remote memory.
+    FaultInjector::ScopedSuspend quiet(client.injector());
+    client.Read(addr, &got, 8);
+  }
+  EXPECT_EQ(got, before);
+  try {
+    client.Read(addr, &got, 8);
+    FAIL() << "expected a VerbError";
+  } catch (const VerbError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_EQ(e.kind(), VerbError::Kind::kTimeout);
+  }
+  client.AbortOp();
+  EXPECT_GE(client.injector()->counts().timeouts, 3u);
+}
+
+TEST(FaultInjectorTest, SpuriousCasFailureLeavesMemoryUntouched) {
+  FaultConfig fault;
+  fault.cas_fail_prob = 1.0;
+  MemoryPool pool(PoolConfig(fault));
+  Client client(&pool, 0);
+  client.BeginOp();
+  const common::GlobalAddress addr = client.Alloc(64, 8);
+  const uint64_t initial = 7;
+  {
+    FaultInjector::ScopedSuspend quiet(client.injector());
+    client.Write(addr, &initial, 8);
+  }
+  // The CAS would succeed (compare matches), but injection forces a miss: the observed
+  // value must differ from `compare` so callers take their failure path, and memory must
+  // keep the old value.
+  const uint64_t observed = client.Cas(addr, /*compare=*/7, /*swap=*/99);
+  EXPECT_NE(observed, 7u);
+  uint64_t got = 0;
+  {
+    FaultInjector::ScopedSuspend quiet(client.injector());
+    client.Read(addr, &got, 8);
+  }
+  EXPECT_EQ(got, initial);
+
+  // Masked variant: only compared bits are fabricated; uncompared bits show real memory.
+  const uint64_t mask = 0xFF;
+  const uint64_t word = 0xABCD00ULL | 0x07ULL;
+  {
+    FaultInjector::ScopedSuspend quiet(client.injector());
+    client.Write(addr, &word, 8);
+  }
+  const uint64_t masked_obs = client.MaskedCas(addr, 0x07, 0x01, mask, mask);
+  EXPECT_NE(masked_obs & mask, 0x07u);
+  EXPECT_EQ(masked_obs & ~mask, 0xABCD00ULL);
+  client.AbortOp();
+  EXPECT_EQ(client.injector()->counts().cas_failures, 2u);
+}
+
+TEST(FaultInjectorTest, TornReadOnQuiescentRegionStillDeliversCorrectBytes) {
+  FaultConfig fault;
+  fault.tear_read_prob = 1.0;
+  fault.tear_write_prob = 1.0;
+  fault.tear_delay_ns = 0;  // keep the test fast; the cut still happens
+  MemoryPool pool(PoolConfig(fault));
+  Client client(&pool, 0);
+  client.BeginOp();
+  const common::GlobalAddress addr = client.Alloc(1024, 64);
+  std::vector<uint8_t> out(1024, 0xAA);
+  client.Write(addr, out.data(), 1024);  // torn write, both halves land
+  std::vector<uint8_t> in(1024, 0);
+  client.Read(addr, in.data(), 1024);  // torn read, no concurrent writer
+  EXPECT_EQ(in, out);
+  client.EndOp(OpType::kOther);  // (AbortOp would discard the bracket's stats)
+  EXPECT_GT(client.injector()->counts().torn_reads, 0u);
+  EXPECT_GT(client.injector()->counts().torn_writes, 0u);
+  // Faults fired inside the op bracket surface in the per-op stats.
+  EXPECT_GT(client.stats().Combined().injected_faults, 0u);
+}
+
+TEST(VerbRetryTest, RetryAbsorbsTransientTimeouts) {
+  FaultConfig fault;
+  fault.seed = 7;
+  fault.timeout_prob = 0.5;
+  MemoryPool pool(PoolConfig(fault));
+  Client client(&pool, 0);
+  client.BeginOp();
+  const common::GlobalAddress addr = client.Alloc(64, 8);
+  VerbRetryPolicy generous;
+  generous.max_attempts = 64;  // (1/2)^64: effectively never exhausts
+  const uint64_t v = 12345;
+  for (int i = 0; i < 200; ++i) {
+    retry::Write(client, generous, addr, &v, 8);
+    uint64_t got = 0;
+    retry::Read(client, generous, addr, &got, 8);
+    ASSERT_EQ(got, v);
+  }
+  client.AbortOp();
+  EXPECT_GT(client.injector()->counts().timeouts, 0u);
+}
+
+TEST(VerbRetryTest, ExhaustedBudgetPropagatesTheVerbError) {
+  FaultConfig fault;
+  fault.timeout_prob = 1.0;
+  MemoryPool pool(PoolConfig(fault));
+  Client client(&pool, 0);
+  client.BeginOp();
+  const common::GlobalAddress addr = client.Alloc(64, 8);
+  VerbRetryPolicy tight;
+  tight.max_attempts = 3;
+  uint64_t got = 0;
+  EXPECT_THROW(retry::Read(client, tight, addr, &got, 8), VerbError);
+  client.AbortOp();
+  // Every attempt drew (and counted) its own injected timeout.
+  EXPECT_EQ(client.injector()->counts().timeouts, 3u);
+}
+
+}  // namespace
+}  // namespace dmsim

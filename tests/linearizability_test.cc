@@ -1,0 +1,154 @@
+// Concurrency oracle: 8 threads of mixed Insert/Update/Delete/Search race on one ChimeTree
+// while the fault injector forces CAS failures (widened lock-race windows) and tears large
+// READs/WRITEs at cache-line boundaries. A striped-mutex std::map oracle serializes each
+// (tree op, oracle op) pair per key stripe, so at the end the tree must equal the oracle
+// exactly; during the run, every value a completed Search returns must be one some writer
+// actually wrote for that key. ValidateStructure must hold afterwards, and the injector must
+// actually have fired (injected_faults > 0), or the test exercised nothing.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/core/tree.h"
+#include "src/dmsim/pool.h"
+
+namespace chime {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 2500;
+constexpr common::Key kKeySpace = 1024;
+constexpr int kStripes = 64;
+
+dmsim::SimConfig FaultyConfig() {
+  dmsim::SimConfig cfg;
+  cfg.region_bytes_per_mn = 256ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  cfg.fault.seed = 2024;
+  cfg.fault.cas_fail_prob = 0.05;   // widen lock-race windows
+  cfg.fault.tear_read_prob = 0.2;   // manufacture torn reads
+  cfg.fault.tear_write_prob = 0.2;  // ...and torn writes for them to observe
+  cfg.fault.tear_delay_ns = 2000;
+  cfg.fault.timeout_prob = 0.01;    // default retry budget absorbs these
+  return cfg;
+}
+
+class Oracle {
+ public:
+  // Serializes (oracle update, tree op) per stripe; the caller runs the tree op inside.
+  std::mutex& StripeFor(common::Key key) {
+    return stripes_[static_cast<size_t>(key) % kStripes];
+  }
+
+  // Callers hold the key's stripe mutex for all three mutators.
+  void RecordInsert(common::Key key, common::Value value) {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    current_[key] = value;
+    ever_written_[key].insert(value);
+  }
+  bool RecordDelete(common::Key key) {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    return current_.erase(key) > 0;
+  }
+  bool Contains(common::Key key) {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    return current_.count(key) > 0;
+  }
+  bool EverWrote(common::Key key, common::Value value) {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    const auto it = ever_written_.find(key);
+    return it != ever_written_.end() && it->second.count(value) > 0;
+  }
+  std::vector<std::pair<common::Key, common::Value>> Snapshot() {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    return {current_.begin(), current_.end()};
+  }
+
+ private:
+  std::array<std::mutex, kStripes> stripes_;
+  std::mutex maps_mu_;  // guards both maps' structure; stripes serialize per-key histories
+  std::map<common::Key, common::Value> current_;
+  std::map<common::Key, std::set<common::Value>> ever_written_;
+};
+
+TEST(LinearizabilityTest, MixedOpsUnderFaultInjectionMatchTheOracle) {
+  dmsim::MemoryPool pool(FaultyConfig());
+  ChimeTree tree(&pool, ChimeOptions{});
+  Oracle oracle;
+
+  std::atomic<uint64_t> phantom_reads{0};
+  std::atomic<uint64_t> presence_mismatches{0};
+  std::atomic<uint64_t> injected_total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      dmsim::Client client(&pool, t);
+      common::Rng rng(static_cast<uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const common::Key k = rng.Range(1, kKeySpace);
+        const common::Value v =
+            static_cast<common::Value>(t) * 1000000000ULL + static_cast<uint64_t>(i) + 1;
+        const double dice = rng.NextDouble();
+        if (dice < 0.40) {
+          // Upsert. Record the value BEFORE the tree op publishes it, so a concurrent
+          // reader can never observe a value the oracle has not yet heard of.
+          std::lock_guard<std::mutex> lk(oracle.StripeFor(k));
+          oracle.RecordInsert(k, v);
+          tree.Insert(client, k, v);
+        } else if (dice < 0.55) {
+          std::lock_guard<std::mutex> lk(oracle.StripeFor(k));
+          const bool was_there = oracle.Contains(k);
+          if (was_there) {
+            oracle.RecordInsert(k, v);  // update overwrites the current value
+          }
+          const bool updated = tree.Update(client, k, v);
+          if (updated != was_there) {
+            presence_mismatches++;
+          }
+        } else if (dice < 0.70) {
+          std::lock_guard<std::mutex> lk(oracle.StripeFor(k));
+          const bool was_there = oracle.RecordDelete(k);
+          const bool deleted = tree.Delete(client, k);
+          if (deleted != was_there) {
+            presence_mismatches++;
+          }
+        } else {
+          // Unsynchronized read: any value it returns must have been written by someone.
+          common::Value got = 0;
+          if (tree.Search(client, k, &got) && !oracle.EverWrote(k, got)) {
+            phantom_reads++;
+          }
+        }
+      }
+      ASSERT_NE(client.injector(), nullptr);
+      injected_total += client.injector()->counts().total();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  EXPECT_EQ(phantom_reads.load(), 0u) << "a Search returned bytes nobody wrote (torn read?)";
+  EXPECT_EQ(presence_mismatches.load(), 0u)
+      << "Update/Delete disagreed with the oracle about key presence";
+  EXPECT_GT(injected_total.load(), 0u) << "the injector never fired; the test is vacuous";
+
+  // Quiesced: the tree must equal the oracle exactly and pass structural validation.
+  dmsim::Client checker(&pool, kThreads + 1);
+  ASSERT_NE(checker.injector(), nullptr);
+  checker.injector()->set_enabled(false);
+  EXPECT_EQ(tree.DumpAll(checker), oracle.Snapshot());
+  std::string why;
+  EXPECT_TRUE(tree.ValidateStructure(checker, &why)) << why;
+}
+
+}  // namespace
+}  // namespace chime
