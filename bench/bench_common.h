@@ -192,6 +192,32 @@ inline void PrintEnv(const Env& env) {
               env.ratio());
 }
 
+// Machine-readable one-line summary with the per-op service demand and the full fault-audit
+// trail (per-kind injector counts including crash points, plus faults attributed to measured
+// ops). Crash-injection runs can be checked by scripts grepping for "JSON ".
+inline void PrintJsonSummary(const std::string& bench_name, const std::string& index_name,
+                             const ycsb::RunResult& run) {
+  const dmsim::OpTypeStats d = run.stats.Combined();
+  const dmsim::FaultCounts& f = run.faults;
+  std::printf(
+      "JSON {\"bench\":\"%s\",\"index\":\"%s\",\"executed_ops\":%llu,"
+      "\"rtts_per_op\":%.3f,\"retries\":%llu,\"injected_faults\":%llu,"
+      "\"faults\":{\"torn_reads\":%llu,\"torn_writes\":%llu,\"cas_failures\":%llu,"
+      "\"timeouts\":%llu,\"crash_post_lock\":%llu,\"crash_mid_split\":%llu,"
+      "\"crash_mid_write_back\":%llu}}\n",
+      bench_name.c_str(), index_name.c_str(),
+      static_cast<unsigned long long>(run.executed_ops), d.AvgRtts(),
+      static_cast<unsigned long long>(d.retries),
+      static_cast<unsigned long long>(d.injected_faults),
+      static_cast<unsigned long long>(f.torn_reads),
+      static_cast<unsigned long long>(f.torn_writes),
+      static_cast<unsigned long long>(f.cas_failures),
+      static_cast<unsigned long long>(f.timeouts),
+      static_cast<unsigned long long>(f.crash_post_lock),
+      static_cast<unsigned long long>(f.crash_mid_split),
+      static_cast<unsigned long long>(f.crash_mid_write_back));
+}
+
 // Runs one workload on a fresh pool+index and returns {run, pool-config}.
 struct WorkloadRun {
   ycsb::RunResult run;

@@ -31,6 +31,7 @@ void RunWorkloadRow(const ycsb::WorkloadMix& mix, const Env& env) {
                 "retries/op=%.3f\n",
                 bench::KindName(kind), d.AvgRtts(), d.AvgBytesRead(), d.AvgBytesWritten(),
                 d.ops ? static_cast<double>(d.retries) / static_cast<double>(d.ops) : 0.0);
+    bench::PrintJsonSummary("fig12_" + mix.name, bench::KindName(kind), wr.run);
   }
 }
 

@@ -4,11 +4,13 @@
 #define SRC_BASELINES_RANGE_INDEX_H_
 
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/common/types.h"
 #include "src/dmsim/client.h"
+#include "src/dmsim/lease.h"
 #include "src/dmsim/verb_retry.h"
 
 namespace baselines {
@@ -36,11 +38,66 @@ class RangeIndex {
     }
   }
 
+  // Compute-node crash tolerance for the CAS(0, v) spinlocks every baseline uses: when
+  // enabled, the value swapped in IS a dmsim::Lease (0 = free), a waiter that observes an
+  // expired lease takes the lock over by CAS instead of spinning forever, and every
+  // acquisition may throw dmsim::ClientCrashed at the post-lock crash point. Releases stay
+  // "write 0", which also clears the embedded lease — no layout change anywhere.
+  void EnableCrashRecovery(uint64_t lease_duration) {
+    crash_recovery_ = true;
+    lease_duration_ = lease_duration;
+  }
+  bool crash_recovery_enabled() const { return crash_recovery_; }
+
  protected:
+  // Spin-acquires the 8-byte CAS lock word at `addr`, honoring leases when crash recovery
+  // is on. Takeover is safe for the baselines because their only crash point fires right
+  // after acquisition, before the holder modifies anything under the lock.
+  void AcquireCasLock(dmsim::Client& client, common::GlobalAddress addr) {
+    int spin = 0;
+    if (!crash_recovery_) {
+      while (dmsim::retry::Cas(client, verb_retry_, addr, 0, 1) != 0) {
+        client.CountRetry();
+        SpinRelax(spin++);
+      }
+      return;
+    }
+    while (true) {
+      const uint64_t now = client.LogicalNow();
+      const uint64_t mine =
+          dmsim::Lease::Pack(client.client_id(), /*epoch=*/1, now + lease_duration_);
+      const uint64_t old = dmsim::retry::Cas(client, verb_retry_, addr, 0, mine);
+      if (old == 0) {
+        break;
+      }
+      if (dmsim::Lease::Expired(old, now)) {
+        // Fence (QP-revoke) the expired holder before taking over, so a stalled-but-alive
+        // holder cannot land stale writes after the takeover.
+        client.FenceLeaseOwner(old);
+        if (dmsim::retry::Cas(client, verb_retry_, addr, old,
+                              dmsim::Lease::Successor(old, client.client_id(), now,
+                                                      lease_duration_)) == old) {
+          break;  // took over an orphaned lock
+        }
+      }
+      client.CountRetry();
+      SpinRelax(spin++);
+    }
+    client.MaybeCrash(dmsim::CrashPoint::kPostLockAcquire, "baseline post-lock-acquire");
+  }
+
+  static void SpinRelax(int spin) {
+    if (spin % 64 == 63) {
+      std::this_thread::yield();
+    }
+  }
+
   // Bounded retry-with-backoff for retryable dmsim::VerbError (injected NIC timeouts).
   // Implementations issue verbs through dmsim::retry::{Read,Write,...}(client, verb_retry_,
   // ...); on budget exhaustion the error propagates to the caller as a clean failure.
   dmsim::VerbRetryPolicy verb_retry_;
+  bool crash_recovery_ = false;
+  uint64_t lease_duration_ = 1ULL << 16;
 };
 
 }  // namespace baselines

@@ -359,11 +359,7 @@ bool RolexIndex::ReadGroup(dmsim::Client& client, common::GlobalAddress addr,
 }
 
 void RolexIndex::LockGroup(dmsim::Client& client, common::GlobalAddress addr) {
-  int spin = 0;
-  while (dmsim::retry::Cas(client, verb_retry_, addr + layout_.lock_offset, 0, 1) != 0) {
-    client.CountRetry();
-    CpuRelax(spin++);
-  }
+  AcquireCasLock(client, addr + layout_.lock_offset);
 }
 
 void RolexIndex::UnlockGroup(dmsim::Client& client, common::GlobalAddress addr) {

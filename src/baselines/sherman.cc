@@ -150,11 +150,7 @@ bool ShermanTree::ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, Le
 }
 
 void ShermanTree::LockLeaf(dmsim::Client& client, common::GlobalAddress addr) {
-  int spin = 0;
-  while (dmsim::retry::Cas(client, verb_retry_, addr + leaf_.lock_offset, 0, 1) != 0) {
-    client.CountRetry();
-    CpuRelax(spin++);
-  }
+  AcquireCasLock(client, addr + leaf_.lock_offset);
 }
 
 void ShermanTree::UnlockLeaf(dmsim::Client& client, common::GlobalAddress addr) {
@@ -388,11 +384,7 @@ void ShermanTree::InsertIntoParent(dmsim::Client& client,
     if (cur.is_null()) {
       cur = TraverseToLevel(client, pivot, level);
     }
-    int spin = 0;
-    while (dmsim::retry::Cas(client, verb_retry_, cur + IL.lock_offset(), 0, 1) != 0) {
-      client.CountRetry();
-      CpuRelax(spin++);
-    }
+    AcquireCasLock(client, cur + IL.lock_offset());
     bool ok = false;
     for (int retry = 0; retry < kMaxReadRetries && !ok; ++retry) {
       dmsim::retry::Read(client, verb_retry_, cur, buf.data(), IL.lock_offset());

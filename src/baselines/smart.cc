@@ -182,16 +182,32 @@ bool SmartTree::ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, comm
 }
 
 void SmartTree::LockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type) {
-  int spin = 0;
-  while (dmsim::retry::Cas(client, verb_retry_, addr + LockOffset(type), 0, 1) != 0) {
-    client.CountRetry();
-    CpuRelax(spin++);
-  }
+  AcquireCasLock(client, addr + LockOffset(type));
 }
 
 void SmartTree::UnlockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type) {
   const uint64_t zero = 0;
   dmsim::retry::Write(client, verb_retry_, addr + LockOffset(type), &zero, 8);
+}
+
+bool SmartTree::CasSlotLive(dmsim::Client& client, common::GlobalAddress node_addr,
+                            NodeType type, common::GlobalAddress slot_addr, uint64_t expect,
+                            uint64_t desired) {
+  // Retirement (grow, path split) only stamps the node header invalid — slot words keep
+  // their old bits — so a bare CAS can still "succeed" inside an abandoned copy and the
+  // installed leaf is lost. Retirement happens under the node's lock, so holding it and
+  // re-reading the header pins the node live across the CAS. The root has no parent and is
+  // never retired; its slots stay on the lock-free path.
+  if (node_addr == root_) {
+    return dmsim::retry::Cas(client, verb_retry_, slot_addr, expect, desired) == expect;
+  }
+  LockNode(client, node_addr, type);
+  const auto fresh = FetchNode(client, node_addr, type);
+  const bool swapped =
+      fresh != nullptr && fresh->type == type &&
+      dmsim::retry::Cas(client, verb_retry_, slot_addr, expect, desired) == expect;
+  UnlockNode(client, node_addr, type);
+  return swapped;
 }
 
 common::Value SmartTree::EncodeValue(dmsim::Client& client, common::Key key,
@@ -314,6 +330,8 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
   NodeType addr_type = NodeType::kNode256;
   common::GlobalAddress parent_slot_addr;  // remote address of the slot word pointing at addr
   uint64_t parent_word = 0;
+  common::GlobalAddress parent_addr;  // the node holding parent_slot_addr (never retired root)
+  NodeType parent_type = NodeType::kNode256;
 
   for (int level = 0; level < 16; ++level) {
     std::shared_ptr<const NodeImage> node;
@@ -357,25 +375,35 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
       z.prefix_len = static_cast<uint8_t>(mismatch);
       std::memcpy(z.prefix, node->prefix, 8);
       z.slots.assign(16, 0);
-      z.slots[0] = Slot::Make(false, node->prefix[mismatch], trimmed_addr);
+      // The trimmed node keeps its type; an untyped (default Node16) pointer here would make
+      // a trimmed Node256 undecodable and strand its whole subtree.
+      z.slots[0] = Slot::Make(false, node->prefix[mismatch], trimmed_addr, fresh->type);
       const common::GlobalAddress leaf = WriteLeaf(client, key, value);
       z.slots[1] = Slot::Make(true, Digit(key, node->depth + mismatch), leaf);
       const common::GlobalAddress z_addr = WriteNewNode(client, z);
 
+      // Publishing z swings the parent's slot word, so the parent must stay live across
+      // the swing: were it concurrently retired by its own grow/path-split, the CAS would
+      // land in the abandoned copy and detach this whole subtree. Its lock excludes the
+      // retirement; locks are taken strictly bottom-up (deeper node first), so the order
+      // cannot deadlock.
+      LockNode(client, parent_addr, parent_type);
+      const auto parent_fresh = FetchNode(client, parent_addr, parent_type);
       const uint64_t new_word =
           Slot::Make(false, Slot::Partial(parent_word), z_addr, NodeType::kNode16);
-      const uint64_t observed =
-          dmsim::retry::Cas(client, verb_retry_, parent_slot_addr, parent_word, new_word);
-      if (observed != parent_word) {
-        UnlockNode(client, addr, node->type);
-        return false;
+      const bool swapped =
+          parent_fresh != nullptr && parent_fresh->type == parent_type &&
+          dmsim::retry::Cas(client, verb_retry_, parent_slot_addr, parent_word, new_word) ==
+              parent_word;
+      if (swapped) {
+        // Retire the replaced node.
+        uint8_t invalid[2] = {static_cast<uint8_t>(fresh->type), 0};
+        dmsim::retry::Write(client, verb_retry_, addr, invalid, 2);
+        cache_.Invalidate(addr);
       }
-      // Retire the replaced node.
-      uint8_t invalid[2] = {static_cast<uint8_t>(fresh->type), 0};
-      dmsim::retry::Write(client, verb_retry_, addr, invalid, 2);
-      cache_.Invalidate(addr);
+      UnlockNode(client, parent_addr, parent_type);
       UnlockNode(client, addr, node->type);
-      return true;
+      return swapped;
     }
 
     const int d = node->depth + node->prefix_len;
@@ -383,19 +411,14 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
 
     if (node->type == NodeType::kNode256) {
       const common::GlobalAddress slot_addr = addr + SlotOffset(digit);
-      uint64_t w = node->slots[digit];
-      for (int attempt = 0; attempt < 64; ++attempt) {
-        if (!Slot::Used(w)) {
-          const common::GlobalAddress leaf = WriteLeaf(client, key, value);
-          const uint64_t desired = Slot::Make(true, digit, leaf);
-          const uint64_t observed = dmsim::retry::Cas(client, verb_retry_, slot_addr, w, desired);
-          if (observed == w) {
-            return true;
-          }
-          w = observed;  // somebody raced; decide again on the fresh word
-          continue;
-        }
-        break;
+      const uint64_t w = node->slots[digit];
+      if (!Slot::Used(w)) {
+        const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+        const uint64_t desired = Slot::Make(true, digit, leaf);
+        // On failure, restart the descent rather than decoding the observed value: a
+        // spuriously failed CAS reports a fabricated word (compared bits flipped), so
+        // routing through it would chase a garbage address.
+        return CasSlotLive(client, addr, node->type, slot_addr, w, desired);
       }
       if (Slot::IsLeaf(w)) {
         common::Key lk = 0;
@@ -410,7 +433,7 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         if (lk == 0) {
           // Dead leaf (deleted key): replace it with a fresh leaf in place.
           const common::GlobalAddress leaf = WriteLeaf(client, key, value);
-          return dmsim::retry::Cas(client, verb_retry_, slot_addr, w, Slot::Make(true, digit, leaf)) == w;
+          return CasSlotLive(client, addr, node->type, slot_addr, w, Slot::Make(true, digit, leaf));
         }
         // Expand: a new Node16 holding both leaves below their common prefix.
         int m = 0;
@@ -429,11 +452,13 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         const common::GlobalAddress leaf = WriteLeaf(client, key, value);
         z.slots[1] = Slot::Make(true, Digit(key, d + 1 + m), leaf);
         const common::GlobalAddress z_addr = WriteNewNode(client, z);
-        return dmsim::retry::Cas(client, verb_retry_, slot_addr, w,
-                          Slot::Make(false, digit, z_addr, NodeType::kNode16)) == w;
+        return CasSlotLive(client, addr, node->type, slot_addr, w,
+                           Slot::Make(false, digit, z_addr, NodeType::kNode16));
       }
       parent_slot_addr = slot_addr;
       parent_word = w;
+      parent_addr = addr;
+      parent_type = node->type;
       addr = Slot::Addr(w);
       addr_type = Slot::Type(w);
       continue;
@@ -462,7 +487,7 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         }
         if (lk == 0) {
           const common::GlobalAddress leaf = WriteLeaf(client, key, value);
-          return dmsim::retry::Cas(client, verb_retry_, slot_addr, w, Slot::Make(true, digit, leaf)) == w;
+          return CasSlotLive(client, addr, node->type, slot_addr, w, Slot::Make(true, digit, leaf));
         }
         int m = 0;
         while (d + 1 + m < 8 && Digit(key, d + 1 + m) == Digit(lk, d + 1 + m)) {
@@ -480,11 +505,13 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         const common::GlobalAddress leaf = WriteLeaf(client, key, value);
         z.slots[1] = Slot::Make(true, Digit(key, d + 1 + m), leaf);
         const common::GlobalAddress z_addr = WriteNewNode(client, z);
-        return dmsim::retry::Cas(client, verb_retry_, slot_addr, w,
-                          Slot::Make(false, digit, z_addr, NodeType::kNode16)) == w;
+        return CasSlotLive(client, addr, node->type, slot_addr, w,
+                           Slot::Make(false, digit, z_addr, NodeType::kNode16));
       }
       parent_slot_addr = slot_addr;
       parent_word = w;
+      parent_addr = addr;
+      parent_type = node->type;
       addr = Slot::Addr(w);
       addr_type = Slot::Type(w);
       continue;
@@ -539,14 +566,22 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
     const common::GlobalAddress leaf = WriteLeaf(client, key, value);
     big.slots[digit] = Slot::Make(true, digit, leaf);
     const common::GlobalAddress big_addr = WriteNewNode(client, big);
+    // Same parent-liveness protocol as the path split above: hold the parent's lock across
+    // the publish so its retirement cannot race the slot swing.
+    LockNode(client, parent_addr, parent_type);
+    const auto parent_fresh = FetchNode(client, parent_addr, parent_type);
     const uint64_t new_word =
         Slot::Make(false, Slot::Partial(parent_word), big_addr, NodeType::kNode256);
-    const bool swapped = dmsim::retry::Cas(client, verb_retry_, parent_slot_addr, parent_word, new_word) == parent_word;
+    const bool swapped =
+        parent_fresh != nullptr && parent_fresh->type == parent_type &&
+        dmsim::retry::Cas(client, verb_retry_, parent_slot_addr, parent_word, new_word) ==
+            parent_word;
     if (swapped) {
       uint8_t invalid[2] = {static_cast<uint8_t>(NodeType::kNode16), 0};
       dmsim::retry::Write(client, verb_retry_, addr, invalid, 2);
       cache_.Invalidate(addr);
     }
+    UnlockNode(client, parent_addr, parent_type);
     UnlockNode(client, addr, NodeType::kNode16);
     return swapped;
   }

@@ -104,6 +104,11 @@ class SmartTree : public RangeIndex {
   void LockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type);
   void UnlockNode(dmsim::Client& client, common::GlobalAddress addr, NodeType type);
 
+  // CASes a slot word in a node that a concurrent grow/path-split may retire; holds the
+  // node's lock and re-checks liveness so the CAS cannot land in an abandoned copy.
+  bool CasSlotLive(dmsim::Client& client, common::GlobalAddress node_addr, NodeType type,
+                   common::GlobalAddress slot_addr, uint64_t expect, uint64_t desired);
+
   // One descent attempt. `use_cache` false forces remote reads (stale-cache fallback).
   enum class FindResult { kFound, kNotFound, kRetry };
   FindResult FindLeaf(dmsim::Client& client, common::Key key, bool use_cache,

@@ -36,6 +36,16 @@ void HotspotBuffer::Invalidate(common::GlobalAddress leaf, uint16_t index) {
   map_.erase(KeyOf(leaf, index));
 }
 
+void HotspotBuffer::InvalidateNode(common::GlobalAddress leaf, uint16_t span) {
+  if (capacity_entries_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint16_t i = 0; i < span; ++i) {
+    map_.erase(KeyOf(leaf, i));
+  }
+}
+
 std::optional<uint16_t> HotspotBuffer::Lookup(common::GlobalAddress leaf, uint16_t home,
                                               int h, uint16_t span, uint16_t fp) const {
   if (capacity_entries_ == 0) {

@@ -29,6 +29,10 @@ class HotspotBuffer {
   // Invalidates one tracked entry (e.g. after observing the speculation failed).
   void Invalidate(common::GlobalAddress leaf, uint16_t index);
 
+  // Invalidates every tracked entry of one leaf (indexes [0, span)) — used after crash
+  // recovery rebuilds a leaf, when any cached slot location may describe pre-crash state.
+  void InvalidateNode(common::GlobalAddress leaf, uint16_t span);
+
   // The speculative-read probe: among indexes [home, home+h) (mod span) of `leaf`, returns
   // the hottest tracked entry whose fingerprint matches `fp`, if any.
   std::optional<uint16_t> Lookup(common::GlobalAddress leaf, uint16_t home, int h,

@@ -140,7 +140,9 @@ LeafLayout::LeafLayout(const ChimeOptions& options)
   range_lo_cell_ = CellCodec::Place(cursor, static_cast<uint32_t>(key_bytes_));
   cursor = range_lo_cell_.end();
   lock_offset_ = (cursor + 7) / 8 * 8;
-  node_bytes_ = lock_offset_ + 8;
+  // Lock word + lease word (dmsim::Lease) back to back; full-node images zero the lease,
+  // which doubles as the lease-clear every release performs.
+  node_bytes_ = lock_offset_ + 16;
 
   vac_group_size_ = (span_ + LeafLock::kVacancyBits - 1) / LeafLock::kVacancyBits;
   vac_groups_ = (span_ + vac_group_size_ - 1) / vac_group_size_;
@@ -233,7 +235,7 @@ InternalLayout::InternalLayout(const ChimeOptions& options)
     cursor = entry_cells_[i].end();
   }
   lock_offset_ = (cursor + 7) / 8 * 8;
-  node_bytes_ = lock_offset_ + 8;
+  node_bytes_ = lock_offset_ + 16;  // lock word + lease word
 }
 
 void InternalLayout::EncodeHeader(const InternalHeader& h, uint8_t* data) const {
@@ -288,8 +290,8 @@ void InternalLayout::EncodeNode(const InternalHeader& header,
     std::fill(data.begin(), data.end(), 0);
     CellCodec::Store(image->data(), entry_cells_[i], data.data(), ver);
   }
-  // Lock word cleared (unlocked).
-  std::memset(image->data() + lock_offset_, 0, 8);
+  // Lock word and lease word cleared (unlocked, lease released).
+  std::memset(image->data() + lock_offset_, 0, 16);
 }
 
 bool InternalLayout::DecodeNode(const uint8_t* image, InternalHeader* header,

@@ -107,6 +107,9 @@ class LeafLayout {
   int groups() const { return groups_; }
   uint32_t node_bytes() const { return node_bytes_; }
   uint32_t lock_offset() const { return lock_offset_; }
+  // 8-byte lease word right after the lock word (dmsim::Lease format). Zero = no lease;
+  // holders stamp it right after acquiring, and every release clears it.
+  uint32_t lease_offset() const { return lock_offset_ + 8; }
   const CellSpec& entry_cell(int idx) const { return entry_cells_[idx]; }
   const CellSpec& replica_cell(int g) const { return replica_cells_[g]; }
   // The node's range floor: one non-replicated key written at node creation and immutable
@@ -194,6 +197,7 @@ class InternalLayout {
   int span() const { return span_; }
   uint32_t node_bytes() const { return node_bytes_; }
   uint32_t lock_offset() const { return lock_offset_; }
+  uint32_t lease_offset() const { return lock_offset_ + 8; }
   const CellSpec& header_cell() const { return header_cell_; }
   const CellSpec& entry_cell(int idx) const { return entry_cells_[idx]; }
 

@@ -42,12 +42,24 @@ struct ChimeOptions {
   double timeout_backoff_base_ns = 1000.0;
   double timeout_backoff_cap_ns = 64000.0;
 
+  // Compute-node crash tolerance. With crash_recovery on, every lock acquisition stamps a
+  // lease (owner + epoch + expiry on the pool's logical clock); waiters that observe an
+  // expired lease reclaim the lock via CAS instead of spinning forever, roll half-done SMOs
+  // forward, and rebuild half-written leaves. Off by default: the extra lease stamp costs one
+  // WRITE per leaf lock acquisition.
+  bool crash_recovery = false;
+  // Lease lifetime in logical-clock ticks (one tick per verb cluster-wide). Must comfortably
+  // exceed the verb count of the longest critical section times the worst-case number of
+  // concurrently active clients, or a slow-but-alive holder could be usurped.
+  uint64_t lease_duration = 1ULL << 16;
+
   void Validate() const {
     assert(span >= 2 && span <= 1024);
     assert(neighborhood >= 1 && neighborhood <= 16);
     assert(span % neighborhood == 0 && "span must be a multiple of the neighborhood");
     assert(key_bytes >= 8 && value_bytes >= 8);
     assert(timeout_retry_limit >= 1);
+    assert(lease_duration > 0);
   }
 };
 

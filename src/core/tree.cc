@@ -4,9 +4,11 @@
 #include <cassert>
 #include <cstring>
 #include <thread>
+#include <unordered_set>
 
 #include "src/common/bitops.h"
 #include "src/common/hash.h"
+#include "src/dmsim/lease.h"
 
 namespace chime {
 
@@ -438,6 +440,29 @@ void ChimeTree::WriteBackAndUnlock(dmsim::Client& client, common::GlobalAddress 
     bufs.push_back(std::move(cell_buf));
     batch.push_back({leaf + cell.offset, bufs.back().data(), cell.total_len});
   }
+  // Crash point: the CN dies after a strict prefix of the dirty cells lands and before the
+  // lock word is touched, leaving the leaf locked under this client's lease. The dirty list
+  // is ordered so a moved key's destination cell always precedes the clear of its source, so
+  // a prefix can duplicate a key but never lose one (RecoverLeaf dedups).
+  if (options_.crash_recovery && dirty.size() >= 2 && client.injector() != nullptr &&
+      client.injector()->ShouldCrash(dmsim::CrashPoint::kMidWriteBack)) {
+    batch.resize(dirty.size() / 2);
+    dmsim::FaultInjector::ScopedSuspend no_faults(client.injector());
+    try {
+      client.WriteBatch(batch);
+    } catch (const dmsim::ClientCrashed&) {
+      // Already fenced by a reclaimer: the prefix write was rejected at the NIC. The client
+      // dies either way; surface the injected crash as the cause so each injected kill maps
+      // to exactly one exception of its kind.
+    }
+    throw dmsim::ClientCrashed("injected compute-node crash at leaf mid-write-back");
+  }
+  if (options_.crash_recovery) {
+    // Clear the lease *before* the lock word frees (batch entries apply in order): a waiter
+    // must never see an expired stale lease next to a lock the next holder just won.
+    bufs.push_back(std::vector<uint8_t>(8, 0));
+    batch.push_back({leaf + L.lease_offset(), bufs.back().data(), 8});
+  }
   bufs.push_back(std::vector<uint8_t>(8));
   std::memcpy(bufs.back().data(), &lock_word, 8);
   batch.push_back({leaf + L.lock_offset(), bufs.back().data(), 8});
@@ -453,6 +478,7 @@ uint64_t ChimeTree::AcquireLeafLock(dmsim::Client& client, common::GlobalAddress
                                           /*compare_mask=*/LeafLock::kLockBit,
                                           /*swap_mask=*/LeafLock::kLockBit);
     if (!LeafLock::Locked(old)) {
+      uint64_t ret = old;
       if (!options_.vacancy_piggyback) {
         // Without piggybacking the lock verb carries no payload: the vacancy bitmap (and
         // argmax) must be fetched with a dedicated READ (paper §3.2.2 / Fig 4a).
@@ -468,9 +494,25 @@ uint64_t ChimeTree::AcquireLeafLock(dmsim::Client& client, common::GlobalAddress
           client.Write(lock_addr, &word, 8);
           throw;
         }
-        return (word & ~LeafLock::kLockBit) | LeafLock::kLockBit;
+        ret = (word & ~LeafLock::kLockBit) | LeafLock::kLockBit;
       }
-      return old;
+      if (options_.crash_recovery) {
+        try {
+          StampLease(client, leaf, leaf_layout_.lease_offset());
+        } catch (const dmsim::VerbError&) {
+          // A held lock with no lease can only be spun on, never reclaimed — release rather
+          // than leave an unreclaimable lock behind.
+          AbandonLeafLock(client, leaf, ret);
+          throw;
+        }
+        // Crash point: the CN dies right after winning the lock and stamping its lease. The
+        // leaf content is untouched; recovery only needs to reclaim the lock.
+        client.MaybeCrash(dmsim::CrashPoint::kPostLockAcquire, "leaf post-lock-acquire");
+      }
+      return ret;
+    }
+    if (options_.crash_recovery && spin % 8 == 7) {
+      TryReclaimLock(client, leaf);
     }
     client.CountRetry();
     CpuRelax(spin++);
@@ -479,9 +521,18 @@ uint64_t ChimeTree::AcquireLeafLock(dmsim::Client& client, common::GlobalAddress
 
 void ChimeTree::ReleaseLeafLock(dmsim::Client& client, common::GlobalAddress leaf,
                                 uint64_t word) {
-  const uint64_t unlocked = word & ~LeafLock::kLockBit;
+  uint64_t unlocked = word & ~LeafLock::kLockBit;
   try {
-    VWrite(client, leaf + leaf_layout_.lock_offset(), &unlocked, 8);
+    if (options_.crash_recovery) {
+      // Lease first, lock second (batch entries apply in order): see WriteBackAndUnlock.
+      uint64_t zero = 0;
+      std::vector<dmsim::BatchEntry> batch;
+      batch.push_back({leaf + leaf_layout_.lease_offset(), &zero, 8});
+      batch.push_back({leaf + leaf_layout_.lock_offset(), &unlocked, 8});
+      VWriteBatch(client, batch);
+    } else {
+      VWrite(client, leaf + leaf_layout_.lock_offset(), &unlocked, 8);
+    }
   } catch (const dmsim::VerbError&) {
     // Never leak a leaf lock on budget exhaustion: complete the release with injection
     // suspended (the lock-lease-recovery stand-in), then surface the failure.
@@ -492,9 +543,31 @@ void ChimeTree::ReleaseLeafLock(dmsim::Client& client, common::GlobalAddress lea
 
 void ChimeTree::AbandonLeafLock(dmsim::Client& client, common::GlobalAddress leaf,
                                 uint64_t word) {
+  // Error-path release (verb retry budget exhausted mid-mutation). Some of the abandoned
+  // writer's cell writes may already have landed, so bump NV in every version byte: a reader
+  // that raced the abandoned writer can then never validate a window mixing half-applied
+  // state with whatever the next writer produces. The full-image write also clears the lock
+  // bit and the lease word (offsets ascend, so versions land before the lock frees).
   dmsim::FaultInjector::ScopedSuspend no_faults(client.injector());
+  const LeafLayout& L = leaf_layout_;
+  std::vector<uint8_t> image(L.node_bytes(), 0);
+  client.Read(leaf, image.data(), L.lock_offset());
+  const uint8_t nv = static_cast<uint8_t>(
+      VersionNv(CellCodec::PeekVersion(image.data(), L.replica_cell(0))) + 1);
+  auto bump = [&](const CellSpec& cell) {
+    const uint8_t ev = VersionEv(CellCodec::PeekVersion(image.data(), cell));
+    CellCodec::SetVersion(image.data(), cell, PackVersion(nv, ev));
+  };
+  for (int g = 0; g < L.groups(); ++g) {
+    bump(L.replica_cell(g));
+  }
+  for (int i = 0; i < L.span(); ++i) {
+    bump(L.entry_cell(i));
+  }
+  bump(L.range_lo_cell());
   const uint64_t unlocked = word & ~LeafLock::kLockBit;
-  client.Write(leaf + leaf_layout_.lock_offset(), &unlocked, 8);
+  std::memcpy(image.data() + L.lock_offset(), &unlocked, 8);
+  client.Write(leaf, image.data(), L.node_bytes());
 }
 
 void ChimeTree::AbandonInternalLock(dmsim::Client& client, common::GlobalAddress node) {
@@ -541,6 +614,178 @@ common::Key ChimeTree::ReadRangeLo(dmsim::Client& client, common::GlobalAddress 
   // The range floor is immutable for a node's lifetime, so no retry loop is needed.
   CellCodec::Load(buf.data() - cell.offset, cell, data.data(), &ver);
   return leaf_layout_.DecodeRangeLo(data.data());
+}
+
+// ---- Lease / crash recovery ------------------------------------------------------------------
+
+void ChimeTree::StampLease(dmsim::Client& client, common::GlobalAddress node,
+                           uint32_t lease_offset) {
+  const uint64_t lease = dmsim::Lease::Pack(client.client_id(), /*epoch=*/1,
+                                            client.LogicalNow() + options_.lease_duration);
+  VWrite(client, node + lease_offset, &lease, 8);
+}
+
+bool ChimeTree::TryReclaimLock(dmsim::Client& client, common::GlobalAddress leaf) {
+  uint64_t lease = 0;
+  VRead(client, leaf + leaf_layout_.lease_offset(), &lease, 8);
+  const uint64_t now = client.LogicalNow();
+  if (!dmsim::Lease::Expired(lease, now)) {
+    return false;  // free, healthy, or a new holder mid-stamp: keep spinning
+  }
+  // QP revocation before the takeover CAS: if the holder is merely stalled (alive but
+  // descheduled past its lease), fencing rejects its future verbs so it can never land a
+  // stale write-back over the rebuilt leaf. If its release already landed, the lease word
+  // changed and the CAS below fails harmlessly.
+  client.FenceLeaseOwner(lease);
+  const uint64_t succ =
+      dmsim::Lease::Successor(lease, client.client_id(), now, options_.lease_duration);
+  if (VCas(client, leaf + leaf_layout_.lease_offset(), lease, succ) != lease) {
+    return false;  // the holder released in time, or another reclaimer won
+  }
+  // The takeover CAS transferred the (still set) lock to this client: releases always clear
+  // the lease before (or together with) the lock word, so an expired lease next to a set
+  // lock bit can only belong to a dead holder, and the leaf can no longer change under us.
+  RecoverLeaf(client, leaf);
+  return true;
+}
+
+void ChimeTree::RecoverLeaf(dmsim::Client& client, common::GlobalAddress leaf) {
+  // Recovery models the administrative QP-reset path: it runs with injection suspended so
+  // the repair itself can neither be killed nor torn.
+  dmsim::FaultInjector::ScopedSuspend no_faults(client.injector());
+  const LeafLayout& L = leaf_layout_;
+  const int span = L.span();
+  std::vector<uint8_t> image(L.node_bytes(), 0);
+  client.Read(leaf, image.data(), L.lock_offset());
+  std::vector<uint8_t> data(std::max(L.entry_data_len(), L.meta_data_len()));
+
+  // Metadata: every replica is written by the same full-image writes; tolerate torn ones and
+  // take the first that decodes cleanly.
+  LeafMeta meta;
+  uint8_t nv = 0;
+  bool have_meta = false;
+  for (int g = 0; g < L.groups() && !have_meta; ++g) {
+    uint8_t ver = 0;
+    if (CellCodec::Load(image.data(), L.replica_cell(g), data.data(), &ver)) {
+      meta = L.DecodeMeta(data.data());
+      nv = VersionNv(ver);
+      have_meta = true;
+    }
+  }
+  assert(have_meta && "leaf metadata unrecoverable");
+
+  // Entries: slot-preserving rebuild. Cells whose version bytes disagree were torn by the
+  // dead holder and are dropped; keys duplicated by an interrupted hop move (the write to
+  // the destination lands before the clear of the source) are deduped. Slots are never
+  // re-placed: both ends of a hop move lie within H of the key's home, so keeping each
+  // surviving entry where it is preserves the hopscotch invariant.
+  std::vector<LeafEntry> slots(static_cast<size_t>(span));
+  std::unordered_set<common::Key> seen;
+  for (int i = 0; i < span; ++i) {
+    uint8_t ver = 0;
+    if (!CellCodec::Load(image.data(), L.entry_cell(i), data.data(), &ver)) {
+      continue;
+    }
+    LeafEntry e = L.DecodeEntry(data.data());
+    e.hop_bitmap = 0;
+    if (e.used && !seen.insert(e.key).second) {
+      e = LeafEntry{};
+    }
+    slots[static_cast<size_t>(i)] = e;
+  }
+  for (int i = 0; i < span; ++i) {
+    const LeafEntry& e = slots[static_cast<size_t>(i)];
+    if (!e.used) {
+      continue;
+    }
+    const int home = HomeOf(e.key);
+    const int dist = (i - home + span) % span;
+    assert(dist < L.h() && "surviving entry outside its neighborhood");
+    slots[static_cast<size_t>(home)].hop_bitmap = static_cast<uint16_t>(
+        common::SetBit(slots[static_cast<size_t>(home)].hop_bitmap, dist));
+  }
+
+  uint8_t rl_ver = 0;
+  CellCodec::Load(image.data(), L.range_lo_cell(), data.data(), &rl_ver);
+  const common::Key range_lo = L.DecodeRangeLo(data.data());
+
+  // Re-serialize with NV+1 everywhere and EVs reset, recomputed vacancy/argmax, an unlocked
+  // lock word and a zero lease: the one image write both repairs and releases.
+  std::vector<uint8_t> out(L.node_bytes(), 0);
+  const uint8_t ver = PackVersion(static_cast<uint8_t>(nv + 1), 0);
+  std::fill(data.begin(), data.end(), 0);
+  L.EncodeMeta(meta, data.data());
+  for (int g = 0; g < L.groups(); ++g) {
+    CellCodec::Store(out.data(), L.replica_cell(g), data.data(), ver);
+  }
+  common::Key max_key = 0;
+  uint32_t argmax = LeafLock::kArgmaxUnknown;
+  for (int i = 0; i < span; ++i) {
+    const LeafEntry& e = slots[static_cast<size_t>(i)];
+    std::fill(data.begin(), data.end(), 0);
+    L.EncodeEntry(e, data.data());
+    CellCodec::Store(out.data(), L.entry_cell(i), data.data(), ver);
+    if (e.used && e.key >= max_key) {
+      max_key = e.key;
+      argmax = static_cast<uint32_t>(i);
+    }
+  }
+  std::fill(data.begin(), data.end(), 0);
+  L.EncodeRangeLo(range_lo, data.data());
+  CellCodec::Store(out.data(), L.range_lo_cell(), data.data(), ver);
+  uint64_t vacancy = 0;
+  for (int g = 0; g < L.vacancy_groups(); ++g) {
+    for (int idx = L.VacancyGroupStart(g); idx <= L.VacancyGroupEnd(g); ++idx) {
+      if (!slots[static_cast<size_t>(idx)].used) {
+        vacancy = common::SetBit(vacancy, g);
+        break;
+      }
+    }
+  }
+  const uint64_t lock_word = LeafLock::Pack(false, argmax, vacancy);
+  std::memcpy(out.data() + L.lock_offset(), &lock_word, 8);
+  client.Write(leaf, out.data(), L.node_bytes());
+
+  // Any speculative locations cached for this leaf may describe pre-crash slots.
+  if (options_.speculative_read) {
+    hotspot_.InvalidateNode(leaf, static_cast<uint16_t>(span));
+  }
+}
+
+bool ChimeTree::ParentKnowsChild(dmsim::Client& client, common::Key pivot,
+                                 common::GlobalAddress sibling) {
+  const common::GlobalAddress parent = TraverseToLevel(client, pivot, 1);
+  if (parent.is_null()) {
+    return true;  // cannot resolve a parent: do not attempt a repair
+  }
+  const auto node = FetchInternal(client, parent);  // fresh remote read
+  if (node == nullptr) {
+    return true;
+  }
+  for (const auto& [p, child] : node->entries) {
+    if (child == sibling) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ChimeTree::RepairHalfSplit(dmsim::Client& client, common::GlobalAddress left,
+                                common::GlobalAddress sibling,
+                                const std::vector<common::GlobalAddress>& path) {
+  if (sibling.is_null()) {
+    return false;
+  }
+  const common::Key pivot = ReadRangeLo(client, sibling);
+  if (pivot == common::kMinKey) {
+    return false;  // the chain head's floor: never a split product
+  }
+  if (ParentKnowsChild(client, pivot, sibling)) {
+    return false;  // split already completed (possibly by a racing healthy splitter)
+  }
+  // InsertIntoParent refreshes the cached parent snapshot itself.
+  InsertIntoParent(client, path, /*level=*/1, pivot, sibling, left);
+  return true;
 }
 
 uint64_t ChimeTree::ComputeVacancy(const Window& window, uint64_t old_vacancy) const {

@@ -98,6 +98,17 @@ class ChimeTree {
   // false and sets *why on the first violation.
   bool ValidateStructure(dmsim::Client& client, std::string* why);
 
+  // Test/diagnostic hook: addresses of every leaf on the chain, left to right.
+  std::vector<common::GlobalAddress> DebugLeafAddrs(dmsim::Client& client);
+
+  // ---- Crash recovery (options_.crash_recovery) -------------------------------------------
+  //
+  // Administrative sweep, e.g. after a known CN failure: walks the whole leaf chain,
+  // reclaims every expired lease (rebuilding the half-written leaf behind it), and completes
+  // every half-done split. Idempotent; safe to run concurrently with live traffic. Returns
+  // the number of locks reclaimed plus splits completed.
+  size_t RecoverAll(dmsim::Client& client);
+
  private:
   // ---- Verb wrappers ----------------------------------------------------------------------
   //
@@ -219,6 +230,31 @@ class ChimeTree {
   // the masked-CAS per §4.2.1; with the piggyback disabled an extra READ fetches them).
   uint64_t AcquireLeafLock(dmsim::Client& client, common::GlobalAddress leaf);
   void ReleaseLeafLock(dmsim::Client& client, common::GlobalAddress leaf, uint64_t word);
+
+  // ---- Lease / crash recovery internals ---------------------------------------------------
+
+  // Stamps this client's fresh lease on the node (right after winning its lock).
+  void StampLease(dmsim::Client& client, common::GlobalAddress node, uint32_t lease_offset);
+  // One reclaim attempt while spinning on a locked leaf: reads the lease; if expired, CASes
+  // the exact observed lease to this client's successor lease. The winner inherits the
+  // orphaned lock (still set!), rebuilds the leaf, and force-releases. Returns true when
+  // this client reclaimed (caller re-contends from scratch). Internal nodes embed their
+  // lease in the CAS lock word and are taken over inline in LockInternal instead.
+  bool TryReclaimLock(dmsim::Client& client, common::GlobalAddress leaf);
+  // Rebuilds a leaf whose writer died mid write-back: tolerant whole-node read (cells whose
+  // version bytes disagree are dropped), slot-preserving re-encode with recomputed hop
+  // bitmaps / vacancy / argmax and NV+1, full-image write that also releases lock + lease.
+  void RecoverLeaf(dmsim::Client& client, common::GlobalAddress leaf);
+  // Completes a half-done split of `left` (sibling written, parent not yet updated): reads
+  // the sibling's immutable range floor and re-runs the parent insertion idempotently.
+  // Returns true when a repair was performed. Never throws ClientCrashed recursively — leaf
+  // crash points only fire on the caller's own mutation path.
+  bool RepairHalfSplit(dmsim::Client& client, common::GlobalAddress left,
+                       common::GlobalAddress sibling, const std::vector<common::GlobalAddress>& path);
+  // Whether `pivot` (the sibling's range floor) is already present as a child separator in
+  // the parent covering it — i.e. whether the split above `left` already completed.
+  bool ParentKnowsChild(dmsim::Client& client, common::Key pivot,
+                        common::GlobalAddress sibling);
 
   // ---- Leaf operations --------------------------------------------------------------------
 

@@ -248,8 +248,15 @@ ChimeTree::MutateResult ChimeTree::TryMutateLocked(dmsim::Client& client, const 
   if (ref.from_cache) {
     cache_.Invalidate(ref.parent_addr);
   }
-  const common::Key sibling_lo = ReadRangeLo(client, window.meta.sibling);
+  // Release before the sibling probe: the sibling address and both range floors are
+  // immutable, so nothing here needs the lock, and the probe may detour into half-split
+  // repair (which takes the parent's internal lock).
+  const common::GlobalAddress sibling = window.meta.sibling;
   ReleaseLeafLock(client, ref.addr, lock_word);
+  const common::Key sibling_lo = ReadRangeLo(client, sibling);
+  if (options_.crash_recovery) {
+    RepairHalfSplit(client, ref.addr, sibling, ref.path);
+  }
   if (key >= sibling_lo) {
     *sibling_out = window.meta.sibling;
     return MutateResult::kFollowSibling;

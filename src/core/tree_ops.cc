@@ -8,6 +8,7 @@
 #include "src/common/bitops.h"
 #include "src/common/hash.h"
 #include "src/core/tree.h"
+#include "src/dmsim/lease.h"
 
 namespace chime {
 
@@ -157,6 +158,12 @@ ChimeTree::LeafResult ChimeTree::SearchLeaf(dmsim::Client& client, const LeafRef
         cache_.Invalidate(ref.parent_addr);  // a mismatch via a cached pointer = stale cache
       }
       const common::Key sibling_lo = ReadRangeLo(client, window.meta.sibling);
+      if (options_.crash_recovery) {
+        // A failed sibling expectation may be a crashed writer's half-done split: roll it
+        // forward (idempotent; a racing healthy splitter wins harmlessly) so the next
+        // descent routes through the parent again.
+        RepairHalfSplit(client, ref.addr, window.meta.sibling, ref.path);
+      }
       if (key >= sibling_lo) {
         *sibling_out = window.meta.sibling;
         return LeafResult::kFollowSibling;
@@ -315,6 +322,12 @@ ChimeTree::LeafResult ChimeTree::TryInsertLocked(dmsim::Client& client, const Le
     }
     if (ref.from_cache) {
       cache_.Invalidate(ref.parent_addr);
+    }
+    if (options_.crash_recovery) {
+      // Same roll-forward as in SearchLeaf. Safe while holding this leaf's lock: the repair
+      // only takes the parent's internal lock, and internal-lock holders never wait on
+      // leaf locks.
+      RepairHalfSplit(client, ref.addr, window.meta.sibling, ref.path);
     }
     return key < ReadRangeLo(client, window.meta.sibling);
   };
@@ -767,6 +780,13 @@ void ChimeTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref,
   }
   const common::Key split_pivot = items[m].first;
 
+  // Crash point: the CN dies after publishing the sibling (the left-image write above
+  // released the leaf lock) but before the parent learns of the new child — a reachable
+  // half-split. Sibling walks tolerate it and RepairHalfSplit rolls it forward.
+  if (options_.crash_recovery) {
+    client.MaybeCrash(dmsim::CrashPoint::kMidSplit, "leaf mid-split");
+  }
+
   // The leaf lock is released at this point; an up-propagation failure leaves a reachable
   // half-split, which every descent tolerates via sibling walks.
   InsertIntoParent(client, ref.path, /*level=*/1, split_pivot, new_addr, ref.addr);
@@ -777,10 +797,43 @@ void ChimeTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref,
 void ChimeTree::LockInternal(dmsim::Client& client, common::GlobalAddress node) {
   const common::GlobalAddress lock_addr = node + internal_layout_.lock_offset();
   int spin = 0;
-  while (VCas(client, lock_addr, 0, 1) != 0) {
+  if (!options_.crash_recovery) {
+    while (VCas(client, lock_addr, 0, 1) != 0) {
+      client.CountRetry();
+      CpuRelax(spin++);
+    }
+    return;
+  }
+  // With crash recovery on, the value CASed in IS the lease (0 = free): acquisition stays a
+  // single verb and release stays "write zero". A waiter that observes an expired lease
+  // takes the lock over by CASing the exact observed word to its successor lease; the node
+  // behind it is guaranteed unmodified because internal critical sections only crash at the
+  // post-acquire point (every image write below either releases the lock itself or is
+  // undone by AbandonInternalLock).
+  while (true) {
+    const uint64_t now = client.LogicalNow();
+    const uint64_t mine =
+        dmsim::Lease::Pack(client.client_id(), /*epoch=*/1, now + options_.lease_duration);
+    const uint64_t old = VCas(client, lock_addr, 0, mine);
+    if (old == 0) {
+      break;
+    }
+    if (dmsim::Lease::Expired(old, now)) {
+      // Fence (QP-revoke) the expired holder before the takeover CAS so a stalled-but-alive
+      // holder cannot later overwrite this node with its stale image-plus-unlock write.
+      client.FenceLeaseOwner(old);
+      if (VCas(client, lock_addr, old,
+               dmsim::Lease::Successor(old, client.client_id(), now,
+                                       options_.lease_duration)) == old) {
+        break;  // took over an orphaned internal lock
+      }
+    }
     client.CountRetry();
     CpuRelax(spin++);
   }
+  // Crash point: die holding a freshly won internal lock; waiters reclaim it through the
+  // lease takeover above.
+  client.MaybeCrash(dmsim::CrashPoint::kPostLockAcquire, "internal post-lock-acquire");
 }
 
 void ChimeTree::UnlockInternal(dmsim::Client& client, common::GlobalAddress node) {
@@ -829,6 +882,21 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
       cur = header.sibling;
       assert(!cur.is_null());
       continue;
+    }
+
+    // Crash-repair can re-run this insertion (and can race the original inserter): skip
+    // when the child is already linked under this parent. Range floors are immutable, so an
+    // existing entry with the same pivot always means the same split already completed.
+    bool already_linked = false;
+    for (const auto& e : entries) {
+      if (e.child == new_child || e.pivot == pivot) {
+        already_linked = true;
+        break;
+      }
+    }
+    if (already_linked) {
+      UnlockInternal(client, cur);
+      return;
     }
 
     // Insert (pivot -> new_child) in sorted position.

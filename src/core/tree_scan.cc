@@ -235,6 +235,72 @@ std::vector<std::pair<common::Key, common::Value>> ChimeTree::DumpAll(dmsim::Cli
   return all;
 }
 
+std::vector<common::GlobalAddress> ChimeTree::DebugLeafAddrs(dmsim::Client& client) {
+  std::vector<common::GlobalAddress> addrs;
+  client.BeginOp();
+  LeafRef ref;
+  if (!LocateLeaf(client, 1, &ref)) {
+    client.AbortOp();
+    return addrs;
+  }
+  const LeafLayout& L = leaf_layout_;
+  common::GlobalAddress cur = ref.addr;
+  std::vector<uint8_t> buf(L.lock_offset());
+  try {
+    while (!cur.is_null()) {
+      addrs.push_back(cur);
+      ParsedLeaf leaf;
+      int retry = 0;
+      do {
+        VRead(client, cur, buf.data(), static_cast<uint32_t>(buf.size()));
+      } while (!ParseLeafImage(L, buf.data(), &leaf) && ++retry < kMaxReadRetries);
+      cur = leaf.meta.sibling;
+    }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
+  }
+  client.AbortOp();
+  return addrs;
+}
+
+size_t ChimeTree::RecoverAll(dmsim::Client& client) {
+  size_t repairs = 0;
+  client.BeginOp();
+  LeafRef ref;
+  if (!LocateLeaf(client, 1, &ref)) {
+    client.AbortOp();
+    return repairs;
+  }
+  const LeafLayout& L = leaf_layout_;
+  common::GlobalAddress cur = ref.addr;
+  std::vector<uint8_t> buf(L.lock_offset());
+  try {
+    while (!cur.is_null()) {
+      // Reclaim the lock if its holder's lease expired (rebuilding any half-written state
+      // behind it), then roll forward a half-done split of this leaf. Both are idempotent
+      // and no-ops on healthy leaves.
+      if (options_.crash_recovery && TryReclaimLock(client, cur)) {
+        ++repairs;
+      }
+      ParsedLeaf leaf;
+      int retry = 0;
+      do {
+        VRead(client, cur, buf.data(), static_cast<uint32_t>(buf.size()));
+      } while (!ParseLeafImage(L, buf.data(), &leaf) && ++retry < kMaxReadRetries);
+      if (options_.crash_recovery && RepairHalfSplit(client, cur, leaf.meta.sibling, {})) {
+        ++repairs;
+      }
+      cur = leaf.meta.sibling;
+    }
+  } catch (const dmsim::VerbError&) {
+    client.AbortOp();
+    throw;
+  }
+  client.AbortOp();
+  return repairs;
+}
+
 bool ChimeTree::ValidateStructure(dmsim::Client& client, std::string* why) {
   client.BeginOp();
   LeafRef ref;

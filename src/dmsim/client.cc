@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/dmsim/lease.h"
+
 namespace dmsim {
 
 Client::Client(MemoryPool* pool, int client_id) : pool_(pool), client_id_(client_id) {
@@ -20,12 +22,35 @@ void Client::MaybeInjectTimeout(common::GlobalAddress addr, const char* verb) {
   // requester gave up; the responder applied nothing.
   NicModel& nic = pool_->node_for(addr).nic();
   nic.ChargeVerbs(1);
+  pool_->TickClock();  // even a timed-out verb advances logical time
   op_latency_ns_ += injector_->config().timeout_latency_ns;
   op_rtts_ += 1;
   op_verbs_ += 1;
   op_injected_faults_ += 1;
   throw VerbError(VerbError::Kind::kTimeout,
                   std::string("injected NIC timeout on ") + verb);
+}
+
+void Client::MaybeCrash(CrashPoint point, const char* site) {
+  if (injector_ == nullptr || !injector_->ShouldCrash(point)) {
+    return;
+  }
+  op_injected_faults_ += 1;
+  throw ClientCrashed(std::string("injected compute-node crash at ") + site);
+}
+
+void Client::FenceLeaseOwner(uint64_t lease_word) {
+  const uint64_t owner = Lease::Owner(lease_word);
+  if (owner == Lease::OwnerToken(client_id_)) {
+    return;
+  }
+  pool_->FenceOwner(owner);
+}
+
+void Client::CheckFenced() const {
+  if (pool_->IsFenced(Lease::OwnerToken(client_id_))) {
+    throw ClientCrashed("fenced: connection revoked by a lease takeover");
+  }
 }
 
 uint8_t* Client::Resolve(common::GlobalAddress addr, uint32_t len) {
@@ -38,6 +63,7 @@ uint8_t* Client::Resolve(common::GlobalAddress addr, uint32_t len) {
 void Client::ChargeRead(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns) {
   nic.ChargeVerbs(verbs);
   nic.ChargeBytesOut(bytes);
+  pool_->TickClock();
   op_latency_ns_ += latency_ns;
   op_rtts_ += 1;
   op_verbs_ += verbs;
@@ -47,6 +73,7 @@ void Client::ChargeRead(NicModel& nic, uint64_t bytes, uint64_t verbs, double la
 void Client::ChargeWrite(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns) {
   nic.ChargeVerbs(verbs);
   nic.ChargeBytesIn(bytes);
+  pool_->TickClock();
   op_latency_ns_ += latency_ns;
   op_rtts_ += 1;
   op_verbs_ += verbs;
@@ -56,6 +83,7 @@ void Client::ChargeWrite(NicModel& nic, uint64_t bytes, uint64_t verbs, double l
 void Client::ChargeAtomic(NicModel& nic) {
   nic.ChargeVerbs(1);
   nic.ChargeBytesIn(8);
+  pool_->TickClock();
   nic.ChargeBytesOut(8);
   op_latency_ns_ += nic.AtomicLatencyNs();
   op_rtts_ += 1;
@@ -65,6 +93,7 @@ void Client::ChargeAtomic(NicModel& nic) {
 }
 
 void Client::Read(common::GlobalAddress addr, void* dst, uint32_t len) {
+  CheckFenced();
   MaybeInjectTimeout(addr, "READ");
   const uint8_t* src = Resolve(addr, len);
   uint8_t* local = static_cast<uint8_t*>(dst);
@@ -88,6 +117,7 @@ void Client::Read(common::GlobalAddress addr, void* dst, uint32_t len) {
 }
 
 void Client::Write(common::GlobalAddress addr, const void* src, uint32_t len) {
+  CheckFenced();
   MaybeInjectTimeout(addr, "WRITE");
   uint8_t* dst = Resolve(addr, len);
   const uint8_t* local = static_cast<const uint8_t*>(src);
@@ -106,6 +136,7 @@ void Client::Write(common::GlobalAddress addr, const void* src, uint32_t len) {
 }
 
 uint64_t Client::Cas(common::GlobalAddress addr, uint64_t compare, uint64_t swap) {
+  CheckFenced();
   MaybeInjectTimeout(addr, "CAS");
   uint8_t* p = Resolve(addr, 8);
   assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
@@ -120,6 +151,7 @@ uint64_t Client::Cas(common::GlobalAddress addr, uint64_t compare, uint64_t swap
 
 uint64_t Client::MaskedCas(common::GlobalAddress addr, uint64_t compare, uint64_t swap,
                            uint64_t compare_mask, uint64_t swap_mask) {
+  CheckFenced();
   MaybeInjectTimeout(addr, "MASKED_CAS");
   uint8_t* p = Resolve(addr, 8);
   assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
@@ -149,6 +181,7 @@ uint64_t Client::SpuriousCasFailure(common::GlobalAddress addr, uint8_t* word_pt
 }
 
 uint64_t Client::FetchAdd(common::GlobalAddress addr, uint64_t delta) {
+  CheckFenced();
   MaybeInjectTimeout(addr, "FETCH_ADD");
   uint8_t* p = Resolve(addr, 8);
   assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
@@ -163,6 +196,7 @@ void Client::ReadBatch(const std::vector<BatchEntry>& entries) {
     return;
   }
   // One doorbell, one fabric round trip: a timeout fails the whole batch atomically.
+  CheckFenced();
   MaybeInjectTimeout(entries[0].addr, "READ_BATCH");
   uint64_t total_bytes = 0;
   for (const auto& e : entries) {
@@ -189,6 +223,7 @@ void Client::WriteBatch(const std::vector<BatchEntry>& entries) {
   if (entries.empty()) {
     return;
   }
+  CheckFenced();
   MaybeInjectTimeout(entries[0].addr, "WRITE_BATCH");
   uint64_t total_bytes = 0;
   for (const auto& e : entries) {

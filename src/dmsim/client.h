@@ -87,10 +87,33 @@ class Client {
   double CurrentOpLatencyNs() const { return op_latency_ns_; }
   uint64_t CurrentOpRtts() const { return op_rtts_; }
 
+  // Current value of the pool's logical clock (ticked once per verb, cluster-wide). Lease
+  // expiries are stamped and compared against this.
+  uint64_t LogicalNow() const { return pool_->ClockNow(); }
+
+  // Kills this client at `point` if the injector so decides: bumps the crash counter, counts
+  // the injected fault against the current op, and throws ClientCrashed. The exception is NOT
+  // a VerbError, so it unwinds past every retry wrapper and error-path unlock handler — the
+  // remote state this client was mid-way through mutating stays orphaned, exactly as if the
+  // compute node lost power.
+  void MaybeCrash(CrashPoint point, const char* site);
+
+  // Revokes the verb connection of whichever client stamped `lease_word` (QP revocation, the
+  // MN-side half of a lease takeover). Must be called BEFORE the takeover CAS: if the fence
+  // lands first the stalled holder's next verb is rejected, and if the holder's release
+  // landed first the lease word changed and the takeover CAS fails — either way no stale
+  // write can land after the takeover succeeds. Fencing one's own token is ignored so a
+  // client reclaiming its own stale lease does not kill itself.
+  void FenceLeaseOwner(uint64_t lease_word);
+
   const ClientStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ClientStats(); }
 
  private:
+  // Pre-verb fence gate: a fenced client's verbs are rejected before any memory effect —
+  // independent of fault injection (and of ScopedSuspend), since revocation is pool state,
+  // not an injected fault.
+  void CheckFenced() const;
   uint8_t* Resolve(common::GlobalAddress addr, uint32_t len);
   void ChargeRead(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns);
   void ChargeWrite(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns);

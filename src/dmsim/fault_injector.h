@@ -37,18 +37,52 @@ class VerbError : public std::runtime_error {
   Kind kind_;
 };
 
+// A compute node that vanished mid-operation. Deliberately NOT a VerbError: every retry
+// wrapper and every error-path unlock handler catches VerbError only, so a crash unwinds
+// through all of them without releasing any remote lock — the orphaned state is real.
+class ClientCrashed : public std::runtime_error {
+ public:
+  explicit ClientCrashed(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Named sites at which a client can be killed, chosen to orphan remote state in the three
+// qualitatively distinct ways a real CN crash does.
+enum class CrashPoint {
+  kPostLockAcquire,  // lock held (lease stamped), node unmodified
+  kMidSplit,         // new sibling + left image written, parent not yet updated
+  kMidWriteBack,     // lock held, a strict prefix of dirty cells written
+};
+
 // Per-kind totals of faults the injector actually fired (suppressed draws do not count).
 struct FaultCounts {
   uint64_t torn_reads = 0;
   uint64_t torn_writes = 0;
   uint64_t cas_failures = 0;
   uint64_t timeouts = 0;
+  uint64_t crash_post_lock = 0;
+  uint64_t crash_mid_split = 0;
+  uint64_t crash_mid_write_back = 0;
 
-  uint64_t total() const { return torn_reads + torn_writes + cas_failures + timeouts; }
+  uint64_t crashes() const { return crash_post_lock + crash_mid_split + crash_mid_write_back; }
+  uint64_t total() const {
+    return torn_reads + torn_writes + cas_failures + timeouts + crashes();
+  }
 
   bool operator==(const FaultCounts& o) const {
     return torn_reads == o.torn_reads && torn_writes == o.torn_writes &&
-           cas_failures == o.cas_failures && timeouts == o.timeouts;
+           cas_failures == o.cas_failures && timeouts == o.timeouts &&
+           crash_post_lock == o.crash_post_lock && crash_mid_split == o.crash_mid_split &&
+           crash_mid_write_back == o.crash_mid_write_back;
+  }
+
+  void Merge(const FaultCounts& o) {
+    torn_reads += o.torn_reads;
+    torn_writes += o.torn_writes;
+    cas_failures += o.cas_failures;
+    timeouts += o.timeouts;
+    crash_post_lock += o.crash_post_lock;
+    crash_mid_split += o.crash_mid_split;
+    crash_mid_write_back += o.crash_mid_write_back;
   }
 };
 
@@ -118,6 +152,29 @@ class FaultInjector {
   // concurrent writer can land between the two halves.
   void Delay() const;
 
+  // True when the client should be killed at `point` (count it; the caller throws
+  // ClientCrashed). Crashes ignore suspension on purpose: a real CN dies just as readily
+  // inside error-path cleanup, and the crash paths are exactly the ones that must not be
+  // softened. They still draw from the same RNG stream, preserving the seeding contract.
+  bool ShouldCrash(CrashPoint point) {
+    const double prob = CrashProbFor(point);
+    if (!enabled_ || prob <= 0 || !Draw(prob)) {
+      return false;
+    }
+    switch (point) {
+      case CrashPoint::kPostLockAcquire:
+        counts_.crash_post_lock++;
+        break;
+      case CrashPoint::kMidSplit:
+        counts_.crash_mid_split++;
+        break;
+      case CrashPoint::kMidWriteBack:
+        counts_.crash_mid_write_back++;
+        break;
+    }
+    return true;
+  }
+
   // ---- Suspension --------------------------------------------------------------------------
   //
   // Error-path cleanup (e.g. abandoning a leaf lock after a timeout-retry budget is
@@ -155,6 +212,18 @@ class FaultInjector {
  private:
   bool Armed() const { return enabled_ && suspended_ == 0; }
   bool Draw(double prob) { return rng_.NextDouble() < prob; }
+
+  double CrashProbFor(CrashPoint point) const {
+    switch (point) {
+      case CrashPoint::kPostLockAcquire:
+        return config_.crash_post_lock_prob;
+      case CrashPoint::kMidSplit:
+        return config_.crash_mid_split_prob;
+      case CrashPoint::kMidWriteBack:
+        return config_.crash_mid_write_back_prob;
+    }
+    return 0.0;
+  }
 
   FaultConfig config_;
   common::Rng rng_;

@@ -1,0 +1,67 @@
+// Lock-lease word: the 8-byte license a lock holder stamps so that other clients can tell an
+// orphaned lock (holder crashed) from a live one, and reclaim it bounded by logical time.
+//
+// Layout (bit 63 .. 0):
+//   [owner:14][epoch:14][expiry:36]
+//
+// - owner: client_id + 2, so 0 means "no lease" and the bootstrap client (-1) encodes as 1.
+// - epoch: bumped on every takeover, disambiguating successive holders.
+// - expiry: absolute logical-clock tick past which the lease is dead. The clock ticks once
+//   per verb cluster-wide (dmsim::MemoryPool), so a waiter spinning on a lock always drives
+//   time toward expiry; 2^36 ticks outlasts any realistic run.
+//
+// Two deployment shapes share this codec:
+// - CHIME keeps the lease in its own word next to the lock word (the lock word's bits are
+//   fully spoken for by the vacancy/argmax piggyback). Lease == 0 while the lock bit is set
+//   means a healthy holder is mid-stamp — waiters must spin, not reclaim.
+// - The baselines embed the lease IN their CAS(0,1) lock word: 0 = free, nonzero = the
+//   lease itself. Acquire is the same single CAS as before (zero extra verbs).
+//
+// Takeover is a full-word CAS from the exact expired value observed to the reclaimer's fresh
+// lease; the monotonic clock makes a stale expiry unrepeatable, so ABA cannot occur.
+#ifndef SRC_DMSIM_LEASE_H_
+#define SRC_DMSIM_LEASE_H_
+
+#include <cstdint>
+
+namespace dmsim {
+
+struct Lease {
+  static constexpr int kOwnerBits = 14;
+  static constexpr int kEpochBits = 14;
+  static constexpr int kExpiryBits = 36;
+  static constexpr uint64_t kOwnerMax = (1ULL << kOwnerBits) - 1;
+  static constexpr uint64_t kEpochMask = (1ULL << kEpochBits) - 1;
+  static constexpr uint64_t kExpiryMask = (1ULL << kExpiryBits) - 1;
+
+  // The owner field a client id stamps into its leases; also the token the fabric fences on
+  // lease takeover (QP revocation). +2 keeps id -1 (bootstrap) and id 0 distinct from the
+  // zero word.
+  static uint64_t OwnerToken(int client_id) {
+    return static_cast<uint64_t>(client_id + 2) & kOwnerMax;
+  }
+
+  static uint64_t Pack(int client_id, uint64_t epoch, uint64_t expiry) {
+    return (OwnerToken(client_id) << (kEpochBits + kExpiryBits)) |
+           ((epoch & kEpochMask) << kExpiryBits) | (expiry & kExpiryMask);
+  }
+
+  static uint64_t Owner(uint64_t word) { return word >> (kEpochBits + kExpiryBits); }
+  static uint64_t Epoch(uint64_t word) { return (word >> kExpiryBits) & kEpochMask; }
+  static uint64_t Expiry(uint64_t word) { return word & kExpiryMask; }
+
+  // An expired lease may be reclaimed. A zero word is no lease at all (holder mid-stamp in
+  // the two-word shape, lock free in the embedded shape) — never "expired".
+  static bool Expired(uint64_t word, uint64_t now) {
+    return word != 0 && Expiry(word) < (now & kExpiryMask);
+  }
+
+  // The successor lease a reclaimer installs over `old_word`.
+  static uint64_t Successor(uint64_t old_word, int client_id, uint64_t now, uint64_t duration) {
+    return Pack(client_id, Epoch(old_word) + 1, now + duration);
+  }
+};
+
+}  // namespace dmsim
+
+#endif  // SRC_DMSIM_LEASE_H_

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/types.h"
@@ -65,10 +67,40 @@ class MemoryPool {
     }
   }
 
+  // Logical clock backing lock leases: every verb any client issues ticks it once, so time
+  // advances exactly as fast as the cluster is doing work. Spinning waiters issue verbs,
+  // which means a waiter blocked on an orphaned lock always drives the clock toward the
+  // lease's expiry — no wall-clock dependence, so crash runs stay deterministic.
+  uint64_t ClockNow() const { return clock_.load(std::memory_order_relaxed); }
+  uint64_t TickClock() { return clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  // QP revocation, the MN-side half of lease takeover: a reclaimer fences the expired
+  // holder's owner token BEFORE CASing its lease, and from then on every verb from that
+  // client is rejected at the NIC. This closes the lease gap — a merely-stalled (not dead)
+  // holder that outlives its lease can no longer land stale write-backs over state a
+  // reclaimer has rebuilt. Fencing is permanent for the id, exactly like a revoked QP.
+  void FenceOwner(uint64_t owner_token) {
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    if (fenced_.insert(owner_token).second) {
+      fence_count_.fetch_add(1, std::memory_order_release);
+    }
+  }
+  bool IsFenced(uint64_t owner_token) const {
+    if (fence_count_.load(std::memory_order_acquire) == 0) {
+      return false;  // fast path: no client has ever been fenced
+    }
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    return fenced_.count(owner_token) != 0;
+  }
+
  private:
   SimConfig config_;
   std::vector<std::unique_ptr<MemoryNode>> nodes_;
   std::atomic<uint64_t> next_alloc_node_{0};
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<uint64_t> fence_count_{0};
+  mutable std::mutex fence_mu_;
+  std::unordered_set<uint64_t> fenced_;
   Fabric fabric_;
 };
 

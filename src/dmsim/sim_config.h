@@ -53,9 +53,17 @@ struct FaultConfig {
   // anything).
   double timeout_prob = 0.0;
   double timeout_latency_ns = 10000.0;
+  // Probabilities that a client is killed (ClientCrashed, unwinding with NO error-path
+  // unlock) at each named crash point. Unlike the verb faults above these model the compute
+  // node itself dying, so they ignore fault suspension; recovery is the index's problem
+  // (lock leases + roll-forward SMO repair), not the transport's.
+  double crash_post_lock_prob = 0.0;
+  double crash_mid_split_prob = 0.0;
+  double crash_mid_write_back_prob = 0.0;
 
   bool any_enabled() const {
-    return tear_read_prob > 0 || tear_write_prob > 0 || cas_fail_prob > 0 || timeout_prob > 0;
+    return tear_read_prob > 0 || tear_write_prob > 0 || cas_fail_prob > 0 || timeout_prob > 0 ||
+           crash_post_lock_prob > 0 || crash_mid_split_prob > 0 || crash_mid_write_back_prob > 0;
   }
 };
 

@@ -51,6 +51,9 @@ RunResult LoadOnly(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
   dmsim::Client client(pool, 0);
   index->BulkLoad(client, items);
   result.stats.Merge(client.stats());
+  if (client.injector() != nullptr) {
+    result.faults.Merge(client.injector()->counts());
+  }
   result.executed_ops = options.num_items;
   return result;
 }
@@ -69,6 +72,7 @@ RunResult RunWorkload(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
   std::atomic<uint64_t> coalesced{0};
   const uint64_t ops_per_thread = options.num_ops / static_cast<uint64_t>(options.threads);
   std::vector<dmsim::ClientStats> per_thread(static_cast<size_t>(options.threads));
+  std::vector<dmsim::FaultCounts> per_thread_faults(static_cast<size_t>(options.threads));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(options.threads));
   for (int t = 0; t < options.threads; ++t) {
@@ -103,6 +107,9 @@ RunResult RunWorkload(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
         }
       }
       per_thread[static_cast<size_t>(t)] = client.stats();
+      if (client.injector() != nullptr) {
+        per_thread_faults[static_cast<size_t>(t)] = client.injector()->counts();
+      }
       coalesced.fetch_add(local_coalesced, std::memory_order_relaxed);
     });
   }
@@ -111,6 +118,9 @@ RunResult RunWorkload(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
   }
   for (const auto& s : per_thread) {
     result.stats.Merge(s);
+  }
+  for (const auto& f : per_thread_faults) {
+    result.faults.Merge(f);
   }
   result.coalesced_ops = coalesced.load();
   result.executed_ops = options.num_ops - result.coalesced_ops;

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "src/baselines/range_index.h"
+#include "src/dmsim/fault_injector.h"
 #include "src/dmsim/op_stats.h"
 #include "src/dmsim/pool.h"
 #include "src/dmsim/throughput_model.h"
@@ -27,6 +28,7 @@ struct RunnerOptions {
 
 struct RunResult {
   dmsim::ClientStats stats;      // merged across workers
+  dmsim::FaultCounts faults;     // injector totals merged across workers (incl. crashes)
   uint64_t executed_ops = 0;     // after RDWC coalescing
   uint64_t coalesced_ops = 0;
   double load_factor = 0;        // remote bytes allocated / ideal KV bytes (diagnostic)

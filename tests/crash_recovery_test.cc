@@ -1,0 +1,482 @@
+// Compute-node crash tolerance under injected kills at every crash point.
+//
+// Worker threads drive a mixed workload while the injector kills their clients at the three
+// named crash sites (post-lock-acquire, mid-split, mid-write-back). A killed client unwinds
+// with ClientCrashed — no abandon-unlock path runs — so its remote locks, leases, and
+// half-written nodes are genuinely orphaned. The thread then constructs a replacement client
+// (fresh id, like a rebooted CN) and keeps going. Survival means: every orphaned lock is
+// reclaimed once its lease expires, every half-done split is rolled forward, and no committed
+// operation is lost.
+//
+// The oracle is per-key possible-value sets rather than exact values: an operation that
+// crashed mid-flight may or may not have taken effect, so its key's state becomes the union
+// of both outcomes until the next successful operation on that key collapses it. Per-key
+// stripe mutexes serialize tree-op + oracle-update, so each successful op collapses the set
+// soundly. The final DumpAll must agree with every set, and a key whose set excludes
+// "absent" must be present — a committed update can never be lost.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/rolex.h"
+#include "src/baselines/sherman.h"
+#include "src/baselines/smart.h"
+#include "src/common/rand.h"
+#include "src/core/tree.h"
+#include "src/dmsim/pool.h"
+
+namespace chime {
+namespace {
+
+constexpr common::Value kAbsent = 0;  // tree values are never 0 (empty-slot sentinel)
+
+dmsim::SimConfig CrashyConfig() {
+  dmsim::SimConfig cfg;
+  cfg.region_bytes_per_mn = 256ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  cfg.fault.seed = 4242;
+  cfg.fault.cas_fail_prob = 0.02;
+  cfg.fault.tear_read_prob = 0.1;
+  cfg.fault.tear_write_prob = 0.1;
+  cfg.fault.tear_delay_ns = 0;
+  cfg.fault.timeout_prob = 0.005;  // absorbed by the per-verb retry budget
+  cfg.fault.crash_post_lock_prob = 0.004;
+  cfg.fault.crash_mid_split_prob = 0.20;
+  cfg.fault.crash_mid_write_back_prob = 0.01;
+  return cfg;
+}
+
+// Per-key sets of values the key may hold, given which operations crashed mid-flight.
+class CrashOracle {
+ public:
+  std::mutex& StripeFor(common::Key key) { return stripes_[key % kStripes]; }
+
+  // A successful (non-crashed) op fixes the key's state exactly.
+  void Collapse(common::Key key, common::Value v) {
+    std::lock_guard<std::mutex> guard(mu_);
+    possible_[key] = {v};
+  }
+
+  // A crashed upsert may or may not have landed: both the old state(s) and v stay possible.
+  void WidenInsert(common::Key key, common::Value v) {
+    std::lock_guard<std::mutex> guard(mu_);
+    Entry(key).insert(v);
+  }
+
+  // A crashed in-place update lands only if the key was present.
+  void WidenUpdate(common::Key key, common::Value v) {
+    std::lock_guard<std::mutex> guard(mu_);
+    std::set<common::Value>& s = Entry(key);
+    for (common::Value old : s) {
+      if (old != kAbsent) {
+        s.insert(v);
+        break;
+      }
+    }
+  }
+
+  void WidenDelete(common::Key key) {
+    std::lock_guard<std::mutex> guard(mu_);
+    Entry(key).insert(kAbsent);
+  }
+
+  std::set<common::Value> Possible(common::Key key) {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = possible_.find(key);
+    return it == possible_.end() ? std::set<common::Value>{kAbsent} : it->second;
+  }
+
+  std::map<common::Key, std::set<common::Value>> All() {
+    std::lock_guard<std::mutex> guard(mu_);
+    return possible_;
+  }
+
+ private:
+  static constexpr int kStripes = 64;
+
+  std::set<common::Value>& Entry(common::Key key) {
+    auto it = possible_.find(key);
+    if (it == possible_.end()) {
+      it = possible_.emplace(key, std::set<common::Value>{kAbsent}).first;
+    }
+    return it->second;
+  }
+
+  std::array<std::mutex, kStripes> stripes_;
+  std::mutex mu_;
+  std::map<common::Key, std::set<common::Value>> possible_;
+};
+
+// True when no leaf on the chain still has its lock bit set.
+bool NoLockedLeaf(ChimeTree& tree, dmsim::Client& client) {
+  const std::vector<common::GlobalAddress> addrs = tree.DebugLeafAddrs(client);
+  const LeafLayout& L = tree.leaf_layout();
+  bool clean = true;
+  client.BeginOp();
+  for (common::GlobalAddress a : addrs) {
+    uint64_t word = 0;
+    client.Read(a + L.lock_offset(), &word, sizeof(word));
+    if (LeafLock::Locked(word)) {
+      clean = false;
+    }
+  }
+  client.AbortOp();
+  return clean;
+}
+
+// Sweeps the leaf chain until every orphaned lease has expired and been reclaimed and every
+// half-split is rolled forward. Each verb ticks the logical clock, so the sweeps themselves
+// drive outstanding leases to expiry; the round bound is generous.
+void RecoverUntilClean(ChimeTree& tree, dmsim::Client& client) {
+  bool clean = false;
+  for (int round = 0; round < 400 && !clean; ++round) {
+    tree.RecoverAll(client);
+    clean = NoLockedLeaf(tree, client);
+  }
+  EXPECT_TRUE(clean) << "a leaf lock survived every recovery sweep";
+  EXPECT_EQ(tree.RecoverAll(client), 0u) << "recovery did not reach a fixed point";
+}
+
+TEST(CrashRecoveryTest, ChimeSurvivesKillsAtEveryCrashPoint) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  constexpr common::Key kKeySpace = 6000;  // ~150 leaves at the default span => many splits
+
+  dmsim::MemoryPool pool(CrashyConfig());
+  ChimeOptions options;
+  options.crash_recovery = true;
+  options.lease_duration = 4096;
+  ChimeTree tree(&pool, options);
+
+  CrashOracle oracle;
+  std::atomic<int> next_client_id{kThreads};
+  std::atomic<uint64_t> crashes_seen{0};
+  std::atomic<uint64_t> fence_kills{0};
+  std::mutex fault_mu;
+  dmsim::FaultCounts fault_totals;  // cumulative counts of every client, live and crashed
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = std::make_unique<dmsim::Client>(&pool, t);
+      common::Rng rng(static_cast<uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const common::Key k = rng.Range(1, kKeySpace);
+        const common::Value v =
+            static_cast<common::Value>(t) * 1000000000ULL + static_cast<common::Value>(i) + 1;
+        const double dice = rng.NextDouble();
+        std::lock_guard<std::mutex> guard(oracle.StripeFor(k));
+        try {
+          if (dice < 0.40) {
+            tree.Insert(*client, k, v);
+            oracle.Collapse(k, v);
+          } else if (dice < 0.55) {
+            if (tree.Update(*client, k, v)) {
+              oracle.Collapse(k, v);
+            } else {
+              oracle.Collapse(k, kAbsent);
+            }
+          } else if (dice < 0.70) {
+            tree.Delete(*client, k);
+            oracle.Collapse(k, kAbsent);
+          } else {
+            common::Value got = 0;
+            if (tree.Search(*client, k, &got)) {
+              EXPECT_TRUE(oracle.Possible(k).count(got))
+                  << "search returned a value never possible for key " << k;
+              oracle.Collapse(k, got);
+            } else {
+              EXPECT_TRUE(oracle.Possible(k).count(kAbsent))
+                  << "search missed a key that must be present: " << k;
+              oracle.Collapse(k, kAbsent);
+            }
+          }
+        } catch (const dmsim::ClientCrashed& crash) {
+          // The op's effect is ambiguous; widen the key's possible set, then "reboot": the
+          // dead client's orphaned locks stay orphaned until some lease reclaim finds them.
+          // A client can die two ways: an injected kill, or a fence (its lease expired while
+          // it was stalled and a reclaimer revoked its connection). Only injected kills map
+          // to injector counters, so tally them separately.
+          if (dice < 0.40) {
+            oracle.WidenInsert(k, v);
+          } else if (dice < 0.55) {
+            oracle.WidenUpdate(k, v);
+          } else if (dice < 0.70) {
+            oracle.WidenDelete(k);
+          }
+          if (std::string(crash.what()).find("fenced") != std::string::npos) {
+            fence_kills.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            crashes_seen.fetch_add(1, std::memory_order_relaxed);
+          }
+          {
+            std::lock_guard<std::mutex> fg(fault_mu);
+            fault_totals.Merge(client->injector()->counts());
+          }
+          client = std::make_unique<dmsim::Client>(
+              &pool, next_client_id.fetch_add(1, std::memory_order_relaxed));
+        } catch (const dmsim::VerbError&) {
+          // Retry budget exhausted (vanishingly rare at these knobs): same ambiguity as a
+          // crash, but the client itself survives.
+          if (dice < 0.40) {
+            oracle.WidenInsert(k, v);
+          } else if (dice < 0.55) {
+            oracle.WidenUpdate(k, v);
+          } else if (dice < 0.70) {
+            oracle.WidenDelete(k);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> fg(fault_mu);
+      fault_totals.Merge(client->injector()->counts());
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  // Every crash point must actually have fired, with real kills behind it.
+  EXPECT_GT(fault_totals.crash_post_lock, 0u);
+  EXPECT_GT(fault_totals.crash_mid_split, 0u);
+  EXPECT_GT(fault_totals.crash_mid_write_back, 0u);
+  EXPECT_EQ(crashes_seen.load(), fault_totals.crashes());
+
+  // Post-run recovery: an injection-free client sweeps until no lock and no half-split is
+  // left, then the structure and contents must both check out.
+  dmsim::Client checker(&pool, next_client_id.fetch_add(1));
+  ASSERT_NE(checker.injector(), nullptr);
+  checker.injector()->set_enabled(false);
+  RecoverUntilClean(tree, checker);
+
+  std::string why;
+  EXPECT_TRUE(tree.ValidateStructure(checker, &why)) << why;
+
+  const auto dump = tree.DumpAll(checker);
+  std::map<common::Key, common::Value> dumped(dump.begin(), dump.end());
+  EXPECT_EQ(dumped.size(), dump.size()) << "DumpAll returned a duplicated key";
+  const auto possible = oracle.All();
+  for (const auto& [k, v] : dumped) {
+    auto it = possible.find(k);
+    ASSERT_NE(it, possible.end()) << "phantom key " << k << " never touched by any op";
+    EXPECT_TRUE(it->second.count(v))
+        << "key " << k << " holds value " << v << " which no op outcome allows";
+  }
+  for (const auto& [k, set] : possible) {
+    if (dumped.count(k) == 0) {
+      EXPECT_TRUE(set.count(kAbsent)) << "committed key " << k << " was lost";
+    }
+  }
+
+  // The recovered tree must be fully operational — fresh inserts land and read back.
+  for (common::Key k = kKeySpace + 1; k <= kKeySpace + 64; ++k) {
+    tree.Insert(checker, k, k + 7);
+  }
+  for (common::Key k = kKeySpace + 1; k <= kKeySpace + 64; ++k) {
+    common::Value got = 0;
+    ASSERT_TRUE(tree.Search(checker, k, &got));
+    EXPECT_EQ(got, k + 7);
+  }
+}
+
+// Regression: AbandonLeafLock (the VerbError error path, crash_recovery off) must bump the
+// node version on release. Otherwise a reader that buffered cells from before the abandoned
+// writer's partial mutations could validate a mixed window. With timeouts as the only fault
+// and a workload that never splits, the node version changes iff an abandon ran.
+TEST(CrashRecoveryTest, AbandonedLeafLockBumpsNodeVersion) {
+  dmsim::SimConfig cfg;
+  cfg.region_bytes_per_mn = 64ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  cfg.fault.seed = 7;
+  cfg.fault.timeout_prob = 0.15;
+  dmsim::MemoryPool pool(cfg);
+
+  ChimeOptions options;
+  options.timeout_retry_limit = 2;  // let VerbError surface instead of being absorbed
+  ChimeTree tree(&pool, options);
+
+  dmsim::Client worker(&pool, 0);
+  dmsim::Client probe(&pool, 1);
+  ASSERT_NE(probe.injector(), nullptr);
+  probe.injector()->set_enabled(false);
+
+  worker.injector()->set_enabled(false);
+  for (common::Key k = 1; k <= 16; ++k) {  // fits one leaf: no splits ever
+    tree.Insert(worker, k, k);
+  }
+  worker.injector()->set_enabled(true);
+
+  const auto addrs = tree.DebugLeafAddrs(probe);
+  ASSERT_EQ(addrs.size(), 1u);
+  const common::GlobalAddress leaf = addrs[0];
+  const LeafLayout& L = tree.leaf_layout();
+  auto node_version = [&]() {
+    std::vector<uint8_t> image(L.lock_offset());
+    probe.BeginOp();
+    probe.Read(leaf, image.data(), static_cast<uint32_t>(image.size()));
+    probe.AbortOp();
+    return VersionNv(CellCodec::PeekVersion(image.data(), L.replica_cell(0)));
+  };
+
+  uint8_t prev = node_version();
+  int verb_errors = 0;
+  int nv_bumps = 0;
+  for (int i = 0; i < 6000 && nv_bumps == 0; ++i) {
+    try {
+      tree.Update(worker, 1 + (i % 16), 1000 + static_cast<common::Value>(i));
+    } catch (const dmsim::VerbError&) {
+      ++verb_errors;
+      const uint8_t nv = node_version();
+      if (nv != prev) {
+        ++nv_bumps;
+        prev = nv;
+      }
+    }
+  }
+  EXPECT_GT(verb_errors, 0) << "no VerbError surfaced; the regression is unexercised";
+  EXPECT_GT(nv_bumps, 0) << "an abandoned lock release left the node version unchanged";
+}
+
+// ---- Baselines: lease-reclaim through RangeIndex ----------------------------------------------
+//
+// The baselines embed the lease in their CAS lock word; an orphaned lock is reclaimed on
+// contact once the lease expires. Torture each one with post-lock-acquire kills, then prove
+// every lock is usable again: an injection-free sweep must update (and read back) every
+// bulk-loaded key, which touches every lock in the index.
+void BaselineCrashTorture(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
+                          bool allow_inserts) {
+  constexpr int kThreads = 6;
+  constexpr int kOpsPerThread = 800;
+  constexpr common::Key kItems = 1024;
+
+  {
+    std::vector<std::pair<common::Key, common::Value>> items;
+    for (common::Key k = 1; k <= kItems; ++k) {
+      items.emplace_back(k, k);
+    }
+    dmsim::Client loader(pool, 0);
+    loader.injector()->set_enabled(false);
+    index->BulkLoad(loader, items);
+  }
+  index->EnableCrashRecovery(/*lease_duration=*/2048);
+
+  CrashOracle oracle;
+  for (common::Key k = 1; k <= kItems; ++k) {
+    oracle.Collapse(k, k);
+  }
+  std::atomic<int> next_client_id{kThreads + 1};
+  std::atomic<uint64_t> crashes_seen{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = std::make_unique<dmsim::Client>(pool, t + 1);
+      common::Rng rng(static_cast<uint64_t>(t) * 104729 + 17);
+      common::Key next_new = kItems + 1 + static_cast<common::Key>(t) * 100000;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const double dice = rng.NextDouble();
+        common::Key k;
+        bool is_insert = false;
+        if (allow_inserts && dice >= 0.70 && dice < 0.85) {
+          k = next_new++;
+          is_insert = true;
+        } else {
+          k = rng.Range(1, kItems);
+        }
+        const common::Value v =
+            static_cast<common::Value>(t + 1) * 1000000000ULL + static_cast<common::Value>(i) + 1;
+        std::lock_guard<std::mutex> guard(oracle.StripeFor(k));
+        try {
+          if (is_insert) {
+            index->Insert(*client, k, v);
+            oracle.Collapse(k, v);
+          } else if (dice < 0.70) {
+            if (index->Update(*client, k, v)) {
+              oracle.Collapse(k, v);
+            }
+          } else {
+            common::Value got = 0;
+            if (index->Search(*client, k, &got)) {
+              EXPECT_TRUE(oracle.Possible(k).count(got))
+                  << index->name() << ": impossible value for key " << k;
+            }
+          }
+        } catch (const dmsim::ClientCrashed& crash) {
+          if (is_insert) {
+            oracle.WidenInsert(k, v);
+          } else if (dice < 0.70) {
+            oracle.WidenUpdate(k, v);
+          }
+          // Fence kills (lease takeover revoked a stalled client) also land here; only
+          // injected kills count toward the vacuity check below.
+          if (std::string(crash.what()).find("fenced") == std::string::npos) {
+            crashes_seen.fetch_add(1, std::memory_order_relaxed);
+          }
+          client = std::make_unique<dmsim::Client>(
+              pool, next_client_id.fetch_add(1, std::memory_order_relaxed));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_GT(crashes_seen.load(), 0u) << index->name() << ": no kill fired; torture is vacuous";
+
+  // Injection-free sweep: updating every bulk key acquires every lock on the contact path,
+  // reclaiming any orphaned lease; the write must then be durable.
+  dmsim::Client checker(pool, next_client_id.fetch_add(1));
+  ASSERT_NE(checker.injector(), nullptr);
+  checker.injector()->set_enabled(false);
+  for (common::Key k = 1; k <= kItems; ++k) {
+    EXPECT_TRUE(index->Update(checker, k, k + 5000000))
+        << index->name() << ": bulk key " << k << " vanished";
+  }
+  for (common::Key k = 1; k <= kItems; ++k) {
+    common::Value got = 0;
+    ASSERT_TRUE(index->Search(checker, k, &got)) << index->name() << ": key " << k << " lost";
+    EXPECT_EQ(got, k + 5000000) << index->name() << ": stale read after recovery sweep";
+  }
+}
+
+// `crash_prob` is per lock acquisition: Sherman and ROLEX lock on every write, SMART only on
+// structural changes (path splits, node grows, Node16 slot claims), so SMART needs a much
+// higher per-acquisition kill rate to see a comparable number of crashes.
+dmsim::SimConfig BaselineCrashConfig(double crash_prob) {
+  dmsim::SimConfig cfg;
+  cfg.region_bytes_per_mn = 256ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  cfg.fault.seed = 99;
+  cfg.fault.cas_fail_prob = 0.02;
+  cfg.fault.crash_post_lock_prob = crash_prob;
+  return cfg;
+}
+
+TEST(CrashRecoveryTest, ShermanReclaimsOrphanedLocks) {
+  dmsim::MemoryPool pool(BaselineCrashConfig(0.004));
+  baselines::ShermanTree tree(&pool, baselines::ShermanOptions{});
+  BaselineCrashTorture(&tree, &pool, /*allow_inserts=*/true);
+}
+
+TEST(CrashRecoveryTest, SmartReclaimsOrphanedLocks) {
+  dmsim::MemoryPool pool(BaselineCrashConfig(0.30));
+  baselines::SmartTree tree(&pool, baselines::SmartOptions{});
+  BaselineCrashTorture(&tree, &pool, /*allow_inserts=*/true);
+}
+
+TEST(CrashRecoveryTest, RolexReclaimsOrphanedLocks) {
+  dmsim::MemoryPool pool(BaselineCrashConfig(0.004));
+  baselines::RolexIndex index(&pool, baselines::RolexOptions{});
+  // ROLEX is pre-trained on the bulk set; the torture sticks to updates of trained keys.
+  BaselineCrashTorture(&index, &pool, /*allow_inserts=*/false);
+}
+
+}  // namespace
+}  // namespace chime

@@ -88,6 +88,100 @@ TEST(DeterminismTest, SameSeedSingleClientReproducesFaultsAndTreeExactly) {
   EXPECT_TRUE(b.valid);
 }
 
+// ---- Crash determinism -------------------------------------------------------------------
+//
+// With crash injection on, the same fault seed must kill the client at the identical
+// sequence of crash sites, and recovery must rebuild the identical tree. Replacement client
+// ids are assigned in order (1, 2, ...), so every replacement draws from the same per-id
+// fault stream, and lease expiries compare against the deterministic logical clock.
+
+dmsim::SimConfig CrashyConfig(uint64_t fault_seed) {
+  dmsim::SimConfig cfg = FaultyConfig(fault_seed);
+  cfg.fault.crash_post_lock_prob = 0.003;
+  cfg.fault.crash_mid_split_prob = 0.25;
+  cfg.fault.crash_mid_write_back_prob = 0.006;
+  return cfg;
+}
+
+struct CrashRunResult {
+  std::vector<std::string> crash_sites;  // exception messages, in order
+  dmsim::FaultCounts faults;             // summed over the original and replacement clients
+  std::vector<std::pair<common::Key, common::Value>> contents;  // after full recovery
+  bool valid = false;
+};
+
+CrashRunResult RunCrashWorkload(uint64_t fault_seed) {
+  dmsim::MemoryPool pool(CrashyConfig(fault_seed));
+  ChimeOptions options;
+  options.crash_recovery = true;
+  options.lease_duration = 1024;
+  ChimeTree tree(&pool, options);
+  int next_id = 0;
+  auto client = std::make_unique<dmsim::Client>(&pool, next_id++);
+  CrashRunResult r;
+  common::Rng workload(99);
+  for (int i = 0; i < 6000; ++i) {
+    const common::Key k = workload.Range(1, 2500);
+    const double dice = workload.NextDouble();
+    try {
+      if (dice < 0.5) {
+        tree.Insert(*client, k, static_cast<common::Value>(i + 1));
+      } else if (dice < 0.7) {
+        tree.Update(*client, k, static_cast<common::Value>(i + 1));
+      } else if (dice < 0.85) {
+        tree.Delete(*client, k);
+      } else {
+        common::Value v = 0;
+        tree.Search(*client, k, &v);
+      }
+    } catch (const dmsim::ClientCrashed& crash) {
+      r.crash_sites.emplace_back(crash.what());
+      r.faults.Merge(client->injector()->counts());
+      client = std::make_unique<dmsim::Client>(&pool, next_id++);
+    } catch (const dmsim::VerbError&) {
+      // retry budget exhausted; the op is abandoned cleanly
+    }
+  }
+  r.faults.Merge(client->injector()->counts());
+  // Full recovery with an injection-free client; sweeps also drive the logical clock past
+  // any outstanding lease expiry. The whole sequence is a fixed function of the seed.
+  dmsim::Client rec(&pool, next_id++);
+  rec.injector()->set_enabled(false);
+  size_t last = 0;
+  for (int round = 0; round < 200; ++round) {
+    last = tree.RecoverAll(rec);
+  }
+  EXPECT_EQ(last, 0u) << "recovery failed to reach a fixed point";
+  r.contents = tree.DumpAll(rec);
+  std::string why;
+  r.valid = tree.ValidateStructure(rec, &why);
+  return r;
+}
+
+TEST(DeterminismTest, SameSeedReproducesCrashSitesAndRecoveredTree) {
+  const CrashRunResult a = RunCrashWorkload(/*fault_seed=*/555);
+  const CrashRunResult b = RunCrashWorkload(/*fault_seed=*/555);
+
+  EXPECT_GT(a.crash_sites.size(), 0u) << "no crash fired; crash determinism is vacuous";
+  EXPECT_GT(a.faults.crash_post_lock, 0u);
+  EXPECT_GT(a.faults.crash_mid_split, 0u);
+  EXPECT_GT(a.faults.crash_mid_write_back, 0u);
+
+  EXPECT_EQ(a.crash_sites, b.crash_sites) << "crash sites diverged across identical runs";
+  EXPECT_TRUE(a.faults == b.faults);
+  EXPECT_EQ(a.contents, b.contents) << "post-recovery tree shape diverged";
+  EXPECT_TRUE(a.valid);
+  EXPECT_TRUE(b.valid);
+}
+
+TEST(DeterminismTest, DifferentSeedsDrawDifferentCrashSites) {
+  const CrashRunResult a = RunCrashWorkload(/*fault_seed=*/555);
+  const CrashRunResult b = RunCrashWorkload(/*fault_seed=*/556);
+  EXPECT_NE(a.crash_sites, b.crash_sites);
+  EXPECT_TRUE(a.valid);
+  EXPECT_TRUE(b.valid);
+}
+
 TEST(DeterminismTest, DifferentSeedsDrawDifferentFaultSequences) {
   const RunResult a = RunWorkload(/*fault_seed=*/1);
   const RunResult b = RunWorkload(/*fault_seed=*/2);

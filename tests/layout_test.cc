@@ -105,7 +105,7 @@ TEST(LeafLayoutTest, OffsetsAreDisjointAndOrdered) {
   }
   EXPECT_GE(layout.lock_offset(), prev_end);
   EXPECT_EQ(layout.lock_offset() % 8, 0u);
-  EXPECT_EQ(layout.node_bytes(), layout.lock_offset() + 8);
+  EXPECT_EQ(layout.node_bytes(), layout.lock_offset() + 16);  // lock word + lease word
 }
 
 TEST(LeafLayoutTest, EntryEncodeDecodeRoundTrip) {
