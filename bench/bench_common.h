@@ -204,7 +204,7 @@ inline void PrintJsonSummary(const std::string& bench_name, const std::string& i
       "\"rtts_per_op\":%.3f,\"retries\":%llu,\"injected_faults\":%llu,"
       "\"faults\":{\"torn_reads\":%llu,\"torn_writes\":%llu,\"cas_failures\":%llu,"
       "\"timeouts\":%llu,\"crash_post_lock\":%llu,\"crash_mid_split\":%llu,"
-      "\"crash_mid_write_back\":%llu}}\n",
+      "\"crash_mid_write_back\":%llu},\"load_faults_total\":%llu}\n",
       bench_name.c_str(), index_name.c_str(),
       static_cast<unsigned long long>(run.executed_ops), d.AvgRtts(),
       static_cast<unsigned long long>(d.retries),
@@ -215,7 +215,8 @@ inline void PrintJsonSummary(const std::string& bench_name, const std::string& i
       static_cast<unsigned long long>(f.timeouts),
       static_cast<unsigned long long>(f.crash_post_lock),
       static_cast<unsigned long long>(f.crash_mid_split),
-      static_cast<unsigned long long>(f.crash_mid_write_back));
+      static_cast<unsigned long long>(f.crash_mid_write_back),
+      static_cast<unsigned long long>(run.load_faults.total()));
 }
 
 // Runs one workload on a fresh pool+index and returns {run, pool-config}.

@@ -1,0 +1,214 @@
+// bench_regress: the canonical fixed-seed regression suite.
+//
+// Runs CHIME and the three baselines (Sherman, SMART, ROLEX) on fixed seeds with a single
+// worker thread, so the measured per-op service demand is bit-for-bit reproducible, and emits
+// a schema-versioned JSON report (BENCH_PR3.json by default). CI compares the report against
+// the committed baseline with ci/compare_bench.py: drift beyond the tolerance thresholds in
+// throughput, RTTs/op, bytes/op, cache hit rate, or tail latency fails the build.
+//
+// Flags:
+//   --out=PATH        where to write the JSON report (default BENCH_PR3.json)
+//   --trace_out=PATH  also run a small insert-heavy CHIME workload with per-verb tracing on
+//                     and dump it as Chrome-trace JSON (chrome://tracing / Perfetto)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+constexpr uint64_t kSeed = 42;
+constexpr int kModeledClients = 64;
+
+struct RegressEnv {
+  uint64_t items = 60000;
+  uint64_t ops = 30000;
+};
+
+struct RunRow {
+  std::string index;
+  std::string workload;
+  bool faulted = false;
+  ycsb::RunResult run;
+  dmsim::ModelResult model;
+};
+
+ycsb::RunnerOptions BaseOptions(const RegressEnv& renv) {
+  ycsb::RunnerOptions opts;
+  opts.num_items = renv.items;
+  opts.num_ops = renv.ops;
+  opts.threads = 1;  // single worker: deterministic service demand for a fixed seed
+  opts.num_cns = 10;
+  opts.seed = kSeed;
+  opts.warmup_frac = 0.1;
+  opts.sample_windows = 8;
+  return opts;
+}
+
+RunRow RunOne(bench::IndexKind kind, const ycsb::WorkloadMix& mix, const RegressEnv& renv,
+              const dmsim::SimConfig& cfg, bool faulted) {
+  bench::Env env;
+  env.items = renv.items;
+  env.ops = renv.ops;
+  env.threads = 1;
+  auto pool = std::make_unique<dmsim::MemoryPool>(cfg);
+  auto index = bench::MakeIndex(kind, pool.get(), env);
+  RunRow row;
+  row.index = bench::KindName(kind);
+  row.workload = mix.name;
+  row.faulted = faulted;
+  row.run = ycsb::RunWorkload(index.get(), pool.get(), mix, BaseOptions(renv));
+  row.model = ycsb::Model(row.run, cfg, env.num_cns, kModeledClients);
+  return row;
+}
+
+void WriteReport(const std::string& path, const RegressEnv& renv,
+                 const std::vector<RunRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": %d,\n", kSchemaVersion);
+  std::fprintf(f, "  \"suite\": \"bench_regress\",\n");
+  std::fprintf(f,
+               "  \"fixed\": {\"items\": %llu, \"ops\": %llu, \"threads\": 1, \"seed\": %llu, "
+               "\"modeled_clients\": %d},\n",
+               static_cast<unsigned long long>(renv.items),
+               static_cast<unsigned long long>(renv.ops),
+               static_cast<unsigned long long>(kSeed), kModeledClients);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& r = rows[i];
+    const dmsim::OpTypeStats d = r.run.stats.Combined();
+    const dmsim::FaultCounts& fc = r.run.faults;
+    const uint64_t cache_total = d.cache_hits + d.cache_misses;
+    const double hit_rate =
+        cache_total == 0 ? 0 : static_cast<double>(d.cache_hits) / cache_total;
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s/%s%s\",\n", r.index.c_str(), r.workload.c_str(),
+                 r.faulted ? "+faults" : "");
+    std::fprintf(f, "      \"index\": \"%s\",\n", r.index.c_str());
+    std::fprintf(f, "      \"workload\": \"%s\",\n", r.workload.c_str());
+    std::fprintf(f, "      \"faulted\": %s,\n", r.faulted ? "true" : "false");
+    std::fprintf(f, "      \"throughput_mops\": %.6f,\n", r.model.throughput_mops);
+    std::fprintf(f, "      \"rtts_per_op\": %.6f,\n", d.AvgRtts());
+    std::fprintf(f, "      \"bytes_per_op\": %.3f,\n",
+                 d.AvgBytesRead() + d.AvgBytesWritten());
+    std::fprintf(f, "      \"cache_hit_rate\": %.6f,\n", hit_rate);
+    std::fprintf(f, "      \"p50_ns\": %.1f,\n", d.latency_ns.Percentile(50));
+    std::fprintf(f, "      \"p99_ns\": %.1f,\n", d.latency_ns.Percentile(99));
+    std::fprintf(f, "      \"executed_ops\": %llu,\n",
+                 static_cast<unsigned long long>(r.run.executed_ops));
+    std::fprintf(f, "      \"coalesced_ops\": %llu,\n",
+                 static_cast<unsigned long long>(r.run.coalesced_ops));
+    std::fprintf(f, "      \"warmup_ops\": %llu,\n",
+                 static_cast<unsigned long long>(r.run.warmup_ops));
+    std::fprintf(f, "      \"retries\": %llu,\n", static_cast<unsigned long long>(d.retries));
+    std::fprintf(
+        f,
+        "      \"faults\": {\"torn_reads\": %llu, \"torn_writes\": %llu, "
+        "\"cas_failures\": %llu, \"timeouts\": %llu, \"crashes\": %llu},\n",
+        static_cast<unsigned long long>(fc.torn_reads),
+        static_cast<unsigned long long>(fc.torn_writes),
+        static_cast<unsigned long long>(fc.cas_failures),
+        static_cast<unsigned long long>(fc.timeouts),
+        static_cast<unsigned long long>(fc.crashes()));
+    std::fprintf(f, "      \"load_faults_total\": %llu,\n",
+                 static_cast<unsigned long long>(r.run.load_faults.total()));
+    std::fprintf(f, "      \"windows\": [");
+    for (size_t w = 0; w < r.run.windows.size(); ++w) {
+      const ycsb::WindowSample& ws = r.run.windows[w];
+      std::fprintf(f, "%s{\"issued\": %llu, \"coalesced\": %llu, \"sim_mops\": %.6f}",
+                   w == 0 ? "" : ", ", static_cast<unsigned long long>(ws.issued_ops),
+                   static_cast<unsigned long long>(ws.coalesced_ops), ws.SimMops());
+    }
+    std::fprintf(f, "]\n");
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+// A small insert-heavy CHIME run with per-verb tracing: enough inserts from a small load
+// that leaf splits occur, so the dump shows search ops, insert ops, and an insert whose
+// trace nests a "split" phase.
+void TraceRun(const std::string& trace_out) {
+  bench::Env env;
+  env.items = 2000;
+  env.ops = 4000;
+  env.threads = 1;
+  dmsim::SimConfig cfg = bench::OneMemoryNode();
+  auto pool = std::make_unique<dmsim::MemoryPool>(cfg);
+  auto index = bench::MakeIndex(bench::IndexKind::kChime, pool.get(), env);
+  ycsb::WorkloadMix mix{"TRACE", 0.5, 0, 0.5, 0};
+  ycsb::RunnerOptions opts;
+  opts.num_items = env.items;
+  opts.num_ops = env.ops;
+  opts.threads = 1;
+  opts.seed = kSeed;
+  opts.rdwc = false;  // trace every generated op
+  opts.trace_out = trace_out;
+  ycsb::RunWorkload(index.get(), pool.get(), mix, opts);
+  std::printf("trace written to %s\n", trace_out.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_PR3.json";
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    }
+  }
+
+  RegressEnv renv;
+  const dmsim::SimConfig clean = bench::OneMemoryNode();
+
+  const std::vector<bench::IndexKind> kinds = {
+      bench::IndexKind::kChime, bench::IndexKind::kSherman, bench::IndexKind::kSmart,
+      bench::IndexKind::kRolex};
+  const std::vector<ycsb::WorkloadMix> mixes = {ycsb::WorkloadA(), ycsb::WorkloadC()};
+
+  std::vector<RunRow> rows;
+  for (bench::IndexKind kind : kinds) {
+    for (const ycsb::WorkloadMix& mix : mixes) {
+      rows.push_back(RunOne(kind, mix, renv, clean, /*faulted=*/false));
+      std::printf("%-8s %-2s  %8.3f Mops  %6.3f rtts/op\n", rows.back().index.c_str(),
+                  mix.name.c_str(), rows.back().model.throughput_mops,
+                  rows.back().run.stats.Combined().AvgRtts());
+    }
+  }
+
+  // One faulted CHIME run: verb-level faults only (torn reads/writes, spurious CAS
+  // failures, timeouts), which every CHIME protocol layer must absorb without changing
+  // results. Fault draws are seeded, so the counters are reproducible too.
+  dmsim::SimConfig faulty = clean;
+  faulty.fault.seed = kSeed;
+  faulty.fault.tear_read_prob = 0.01;
+  faulty.fault.tear_write_prob = 0.01;
+  faulty.fault.cas_fail_prob = 0.01;
+  faulty.fault.timeout_prob = 0.002;
+  faulty.fault.tear_delay_ns = 0;
+  rows.push_back(RunOne(bench::IndexKind::kChime, ycsb::WorkloadA(), renv, faulty,
+                        /*faulted=*/true));
+  std::printf("%-8s %-2s  %8.3f Mops  (faulted, %llu faults)\n", "CHIME", "A",
+              rows.back().model.throughput_mops,
+              static_cast<unsigned long long>(rows.back().run.faults.total()));
+
+  WriteReport(out, renv, rows);
+  std::printf("report written to %s\n", out.c_str());
+
+  if (!trace_out.empty()) {
+    TraceRun(trace_out);
+  }
+  return 0;
+}

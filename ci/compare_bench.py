@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_regress report against the committed baseline.
+
+Usage: compare_bench.py NEW_REPORT [BASELINE]
+
+When BASELINE does not exist, the new report seeds it (first run on a branch) and the check
+passes. Otherwise every run present in both reports is compared metric by metric with the
+tolerances below; any drift beyond tolerance prints a REGRESSION line and exits 1. Fault
+counters are informational: they are printed when they change but never fail the check,
+since fault totals legitimately move when verb sequences change.
+"""
+
+import json
+import shutil
+import sys
+
+# (metric, relative tolerance) — relative to the baseline value.
+REL_TOLERANCES = [
+    ("throughput_mops", 0.15),
+    ("rtts_per_op", 0.10),
+    ("bytes_per_op", 0.10),
+    ("p50_ns", 0.25),
+    ("p99_ns", 0.40),
+]
+# (metric, absolute tolerance).
+ABS_TOLERANCES = [
+    ("cache_hit_rate", 0.05),
+]
+INFORMATIONAL = ["retries", "load_faults_total"]
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    new_path = sys.argv[1]
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_PR3.json"
+
+    with open(new_path) as f:
+        new = json.load(f)
+
+    try:
+        with open(base_path) as f:
+            base = json.load(f)
+    except FileNotFoundError:
+        shutil.copyfile(new_path, base_path)
+        print(f"no baseline at {base_path}: seeded it from {new_path}")
+        return 0
+
+    if base.get("schema_version") != new.get("schema_version"):
+        print(
+            f"schema changed ({base.get('schema_version')} -> "
+            f"{new.get('schema_version')}): reseeding baseline"
+        )
+        shutil.copyfile(new_path, base_path)
+        return 0
+
+    base_runs = {r["name"]: r for r in base["runs"]}
+    new_runs = {r["name"]: r for r in new["runs"]}
+    failures = 0
+    compared = 0
+
+    for name, b in sorted(base_runs.items()):
+        n = new_runs.get(name)
+        if n is None:
+            print(f"NOTE {name}: missing from new report")
+            continue
+        for metric, tol in REL_TOLERANCES:
+            bv, nv = b.get(metric), n.get(metric)
+            if bv is None or nv is None:
+                continue
+            compared += 1
+            limit = abs(bv) * tol
+            if abs(nv - bv) > limit and limit > 0:
+                print(
+                    f"REGRESSION {name}.{metric}: {bv:.4f} -> {nv:.4f} "
+                    f"(drift {abs(nv - bv) / abs(bv) * 100:.1f}% > {tol * 100:.0f}%)"
+                )
+                failures += 1
+        for metric, tol in ABS_TOLERANCES:
+            bv, nv = b.get(metric), n.get(metric)
+            if bv is None or nv is None:
+                continue
+            compared += 1
+            if abs(nv - bv) > tol:
+                print(
+                    f"REGRESSION {name}.{metric}: {bv:.4f} -> {nv:.4f} "
+                    f"(drift {abs(nv - bv):.4f} > {tol:.2f} abs)"
+                )
+                failures += 1
+        for metric in INFORMATIONAL:
+            bv, nv = b.get(metric), n.get(metric)
+            if bv is not None and nv is not None and bv != nv:
+                print(f"NOTE {name}.{metric}: {bv} -> {nv} (informational)")
+        bf, nf = b.get("faults", {}), n.get("faults", {})
+        for kind in sorted(set(bf) | set(nf)):
+            if bf.get(kind, 0) != nf.get(kind, 0):
+                print(
+                    f"NOTE {name}.faults.{kind}: {bf.get(kind, 0)} -> "
+                    f"{nf.get(kind, 0)} (informational)"
+                )
+
+    print(f"compared {compared} metrics across {len(base_runs)} runs: {failures} regressions")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

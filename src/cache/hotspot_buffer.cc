@@ -6,7 +6,15 @@
 namespace cncache {
 
 HotspotBuffer::HotspotBuffer(size_t capacity_bytes)
-    : capacity_entries_(capacity_bytes / kEntryBytes) {}
+    : capacity_entries_(capacity_bytes / kEntryBytes) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  gauge_bytes_ = reg.RegisterGauge("cache.hotspot.bytes_used",
+                                   [this] { return static_cast<double>(bytes_used()); });
+  gauge_hits_ = reg.RegisterGauge("cache.hotspot.hits",
+                                  [this] { return static_cast<double>(hits_); });
+  gauge_misses_ = reg.RegisterGauge("cache.hotspot.misses",
+                                    [this] { return static_cast<double>(misses_); });
+}
 
 void HotspotBuffer::OnAccess(common::GlobalAddress leaf, uint16_t index, uint16_t fp) {
   if (capacity_entries_ == 0) {

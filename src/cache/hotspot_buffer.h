@@ -10,6 +10,7 @@
 
 #include "src/common/rand.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 
 namespace cncache {
 
@@ -65,6 +66,11 @@ class HotspotBuffer {
   mutable common::Rng rng_{0xb0ff'e7};
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
+
+  // Self-registered observability (summed across instances at scrape time).
+  obs::GaugeHandle gauge_bytes_;
+  obs::GaugeHandle gauge_hits_;
+  obs::GaugeHandle gauge_misses_;
 };
 
 }  // namespace cncache

@@ -12,7 +12,15 @@ int CachedNode::FindChild(common::Key key) const {
 }
 
 IndexCache::IndexCache(size_t capacity_bytes, size_t key_bytes)
-    : capacity_bytes_(capacity_bytes), key_bytes_(key_bytes) {}
+    : capacity_bytes_(capacity_bytes), key_bytes_(key_bytes) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  gauge_bytes_ = reg.RegisterGauge("cache.index.bytes_used",
+                                   [this] { return static_cast<double>(bytes_used()); });
+  gauge_hits_ = reg.RegisterGauge("cache.index.hits",
+                                  [this] { return static_cast<double>(hits_); });
+  gauge_misses_ = reg.RegisterGauge("cache.index.misses",
+                                    [this] { return static_cast<double>(misses_); });
+}
 
 std::shared_ptr<const CachedNode> IndexCache::Get(const common::GlobalAddress& addr) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 
 namespace cncache {
 
@@ -70,6 +71,11 @@ class IndexCache {
   size_t bytes_used_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+
+  // Self-registered observability (summed across instances at scrape time).
+  obs::GaugeHandle gauge_bytes_;
+  obs::GaugeHandle gauge_hits_;
+  obs::GaugeHandle gauge_misses_;
 };
 
 }  // namespace cncache

@@ -28,6 +28,18 @@ constexpr uint64_t Mix64Alt(uint64_t x) {
 // FNV-1a over arbitrary bytes, for variable-length keys.
 uint64_t HashBytes(const void* data, size_t len);
 
+// FNV-1a over the 8 little-endian bytes of x — the exact FNVhash64 the reference YCSB client
+// uses to scramble Zipfian ranks so popular items spread across the whole key space.
+constexpr uint64_t FnvMix64(uint64_t x) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= x & 0xff;
+    h *= 0x100000001b3ULL;
+    x >>= 8;
+  }
+  return h;
+}
+
 // A short fingerprint for speculative-read validation (paper §4.3 stores 2 bytes).
 constexpr uint16_t Fingerprint16(uint64_t key) {
   return static_cast<uint16_t>(Mix64Alt(key) >> 48);

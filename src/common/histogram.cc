@@ -8,9 +8,12 @@ namespace common {
 
 Histogram::Histogram() : buckets_(kBuckets, 0) {}
 
-// Buckets: 4 sub-buckets per power of two, i.e. bucket = 4*log2(v) + next-2-bits.
+// Buckets: values below 16 get one exact bucket each (buckets 0-15; they carry fewer than the
+// two sub-bucket bits), and every value v >= 16 lands in bucket 4*log2(v) + next-2-bits.
+// With log2(16) = 4 the first power-of-two bucket is 4*4 = 16, so the mapping is contiguous:
+// every bucket in [0, kBuckets) is reachable and BucketLow(b+1) == BucketHigh(b) + 1.
 int Histogram::BucketFor(uint64_t value) {
-  if (value < 4) {
+  if (value < 16) {
     return static_cast<int>(value);
   }
   const int log2 = 63 - std::countl_zero(value);
@@ -20,7 +23,7 @@ int Histogram::BucketFor(uint64_t value) {
 }
 
 uint64_t Histogram::BucketLow(int bucket) {
-  if (bucket < 4) {
+  if (bucket < 16) {
     return static_cast<uint64_t>(bucket);
   }
   const int log2 = bucket / 4;
@@ -29,9 +32,6 @@ uint64_t Histogram::BucketLow(int bucket) {
 }
 
 uint64_t Histogram::BucketHigh(int bucket) {
-  if (bucket < 3) {
-    return static_cast<uint64_t>(bucket);
-  }
   if (bucket >= kBuckets - 1) {
     return std::numeric_limits<uint64_t>::max();
   }
@@ -89,7 +89,9 @@ double Histogram::Percentile(double p) const {
       continue;
     }
     if (static_cast<double>(seen + buckets_[i]) >= target) {
-      // Linear interpolation inside the bucket, clamped to the observed min/max.
+      // Linear interpolation inside the bucket, clamped to the observed min/max. Samples in
+      // bucket i satisfy BucketLow(i) <= v <= BucketHigh(i), so min_ <= BucketHigh(i) and
+      // max_ >= BucketLow(i): the clamped interval is never negative-width.
       const double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
       const double lo = static_cast<double>(std::max(BucketLow(i), min_));

@@ -23,12 +23,15 @@ class Histogram {
   // p in [0, 100].
   double Percentile(double p) const;
 
- private:
+  // Bucket <-> bound mapping, exposed for property tests: for every value v,
+  // BucketLow(b) <= v <= BucketHigh(b) where b = BucketFor(v), and every bucket in
+  // [0, kBuckets) is reachable.
   static constexpr int kBuckets = 256;
   static int BucketFor(uint64_t value);
   static uint64_t BucketLow(int bucket);
   static uint64_t BucketHigh(int bucket);
 
+ private:
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   double sum_ = 0;

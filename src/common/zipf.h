@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "src/common/hash.h"
 #include "src/common/rand.h"
 
 namespace common {
@@ -31,12 +32,19 @@ class ZipfianGenerator {
 };
 
 // Scrambled Zipfian: spreads the popular items across the whole key space (YCSB default) so
-// hotspots do not cluster inside one leaf node.
+// hotspots do not cluster inside one leaf node. Raw ranks (ZipfianGenerator) put the hottest
+// items at adjacent positions, which piles them into a single leaf and conflates skew with
+// single-leaf lock contention; use the raw generator only for experiments that deliberately
+// depend on clustered hotspots (see EXPERIMENTS.md).
 class ScrambledZipfianGenerator {
  public:
   ScrambledZipfianGenerator(uint64_t n, double theta = 0.99) : zipf_(n, theta), n_(n) {}
 
-  uint64_t Next(Rng& rng) { return Mix64(zipf_.Next(rng)) % n_; }
+  // The rank scrambler (YCSB's FNVhash64), exposed so growing-keyspace consumers can apply
+  // it to a rank drawn from a fixed-n generator before reducing mod the live bound.
+  static uint64_t Scramble(uint64_t rank) { return FnvMix64(rank); }
+
+  uint64_t Next(Rng& rng) { return Scramble(zipf_.Next(rng)) % n_; }
 
  private:
   ZipfianGenerator zipf_;

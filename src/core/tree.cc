@@ -39,6 +39,17 @@ ChimeTree::ChimeTree(dmsim::MemoryPool* pool, const ChimeOptions& options)
       cache_(options.cache_bytes, static_cast<size_t>(options.key_bytes)),
       hotspot_(options.speculative_read ? options.hotspot_buffer_bytes : 0) {
   options_.Validate();
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  metrics_.leaf_splits = reg.GetCounter("chime.smo.leaf_splits");
+  metrics_.parent_inserts = reg.GetCounter("chime.smo.parent_inserts");
+  metrics_.lease_takeovers = reg.GetCounter("chime.lease.takeovers");
+  metrics_.leaf_rebuilds = reg.GetCounter("chime.recovery.leaf_rebuilds");
+  metrics_.half_split_repairs = reg.GetCounter("chime.recovery.half_split_repairs");
+  metrics_.retry_read_validation = reg.GetCounter("chime.retry.read_validation");
+  metrics_.retry_hop_bitmap = reg.GetCounter("chime.retry.hop_bitmap");
+  metrics_.retry_lock_wait = reg.GetCounter("chime.retry.lock_wait");
+  metrics_.hop_distance_total = reg.GetCounter("chime.hop.distance_total");
+  metrics_.hop_probes = reg.GetCounter("chime.hop.probes");
   dmsim::Client boot(pool_, /*client_id=*/-1);
   // Bootstrap is out-of-band setup (a control-plane operation), not data-path traffic:
   // faults are not injected into it.
@@ -125,6 +136,7 @@ std::shared_ptr<const cncache::CachedNode> ChimeTree::FetchInternal(
       return node;
     }
     client.CountRetry();
+    metrics_.retry_read_validation->Inc();
     CpuRelax(retry);
   }
   assert(false && "internal node read never validated");
@@ -134,6 +146,7 @@ std::shared_ptr<const cncache::CachedNode> ChimeTree::FetchInternal(
 // ---- Traversal -------------------------------------------------------------------------------
 
 bool ChimeTree::LocateLeaf(dmsim::Client& client, common::Key key, LeafRef* ref) {
+  dmsim::Client::PhaseScope phase(client, "descend");
   for (int restart = 0; restart < kMaxOpRestarts; ++restart) {
     common::GlobalAddress cur = CachedRoot(client);
     ref->path.clear();
@@ -424,6 +437,7 @@ bool ChimeTree::HopBitmapConsistent(const Window& window, int home) const {
 void ChimeTree::WriteBackAndUnlock(dmsim::Client& client, common::GlobalAddress leaf,
                                    const Window& window, const std::vector<int>& dirty,
                                    uint64_t lock_word) {
+  dmsim::Client::PhaseScope phase(client, "write_back");
   const LeafLayout& L = leaf_layout_;
   const int span = L.span();
   // Per-cell payload buffers must outlive the batch.
@@ -515,6 +529,7 @@ uint64_t ChimeTree::AcquireLeafLock(dmsim::Client& client, common::GlobalAddress
       TryReclaimLock(client, leaf);
     }
     client.CountRetry();
+    metrics_.retry_lock_wait->Inc();
     CpuRelax(spin++);
   }
 }
@@ -645,6 +660,7 @@ bool ChimeTree::TryReclaimLock(dmsim::Client& client, common::GlobalAddress leaf
   // The takeover CAS transferred the (still set) lock to this client: releases always clear
   // the lease before (or together with) the lock word, so an expired lease next to a set
   // lock bit can only belong to a dead holder, and the leaf can no longer change under us.
+  metrics_.lease_takeovers->Inc();
   RecoverLeaf(client, leaf);
   return true;
 }
@@ -652,6 +668,7 @@ bool ChimeTree::TryReclaimLock(dmsim::Client& client, common::GlobalAddress leaf
 void ChimeTree::RecoverLeaf(dmsim::Client& client, common::GlobalAddress leaf) {
   // Recovery models the administrative QP-reset path: it runs with injection suspended so
   // the repair itself can neither be killed nor torn.
+  metrics_.leaf_rebuilds->Inc();
   dmsim::FaultInjector::ScopedSuspend no_faults(client.injector());
   const LeafLayout& L = leaf_layout_;
   const int span = L.span();
@@ -785,6 +802,7 @@ bool ChimeTree::RepairHalfSplit(dmsim::Client& client, common::GlobalAddress lef
   }
   // InsertIntoParent refreshes the cached parent snapshot itself.
   InsertIntoParent(client, path, /*level=*/1, pivot, sibling, left);
+  metrics_.half_split_repairs->Inc();
   return true;
 }
 

@@ -25,6 +25,7 @@
 #include "src/dmsim/client.h"
 #include "src/dmsim/pool.h"
 #include "src/dmsim/verb_retry.h"
+#include "src/obs/metrics.h"
 
 namespace chime {
 
@@ -342,6 +343,22 @@ class ChimeTree {
   common::GlobalAddress root_ptr_addr_;
   std::atomic<uint64_t> cached_root_{0};
   std::atomic<int> height_{1};
+
+  // Named observability counters (obs::MetricRegistry::Global()), resolved once at
+  // construction so the hot paths pay only a relaxed atomic add.
+  struct TreeMetrics {
+    obs::Counter* leaf_splits;
+    obs::Counter* parent_inserts;
+    obs::Counter* lease_takeovers;
+    obs::Counter* leaf_rebuilds;
+    obs::Counter* half_split_repairs;
+    obs::Counter* retry_read_validation;
+    obs::Counter* retry_hop_bitmap;
+    obs::Counter* retry_lock_wait;
+    obs::Counter* hop_distance_total;
+    obs::Counter* hop_probes;
+  };
+  TreeMetrics metrics_;
 };
 
 }  // namespace chime

@@ -83,6 +83,7 @@ ChimeTree::LeafResult ChimeTree::SearchLeaf(dmsim::Client& client, const LeafRef
   for (int retry = 0; retry < kMaxReadRetries; ++retry) {
     if (!ReadWindow(client, ref.addr, home, h, /*extra_idx=*/-1, &window, nullptr, nullptr)) {
       client.CountRetry();
+      metrics_.retry_read_validation->Inc();
       CpuRelax(retry);
       continue;
     }
@@ -91,6 +92,7 @@ ChimeTree::LeafResult ChimeTree::SearchLeaf(dmsim::Client& client, const LeafRef
     }
     if (!HopBitmapConsistent(window, home)) {
       client.CountRetry();  // caught a concurrent hop mid-flight (paper §4.1.2)
+      metrics_.retry_hop_bitmap->Inc();
       CpuRelax(retry);
       continue;
     }
@@ -137,6 +139,8 @@ ChimeTree::LeafResult ChimeTree::SearchLeaf(dmsim::Client& client, const LeafRef
         } else {
           *value = e.value;
         }
+        metrics_.hop_distance_total->Add(static_cast<uint64_t>(j));
+        metrics_.hop_probes->Inc();
         if (options_.speculative_read) {
           hotspot_.OnAccess(ref.addr, static_cast<uint16_t>(idx), fp);
         }
@@ -694,6 +698,8 @@ bool ChimeTree::BuildLeafImage(const std::vector<std::pair<common::Key, common::
 
 void ChimeTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref,
                                    Window* full_window, uint64_t lock_word) {
+  dmsim::Client::PhaseScope phase(client, "split");
+  metrics_.leaf_splits->Inc();
   const LeafLayout& L = leaf_layout_;
   const int span = L.span();
 
@@ -800,6 +806,7 @@ void ChimeTree::LockInternal(dmsim::Client& client, common::GlobalAddress node) 
   if (!options_.crash_recovery) {
     while (VCas(client, lock_addr, 0, 1) != 0) {
       client.CountRetry();
+      metrics_.retry_lock_wait->Inc();
       CpuRelax(spin++);
     }
     return;
@@ -825,10 +832,12 @@ void ChimeTree::LockInternal(dmsim::Client& client, common::GlobalAddress node) 
       if (VCas(client, lock_addr, old,
                dmsim::Lease::Successor(old, client.client_id(), now,
                                        options_.lease_duration)) == old) {
+        metrics_.lease_takeovers->Inc();
         break;  // took over an orphaned internal lock
       }
     }
     client.CountRetry();
+    metrics_.retry_lock_wait->Inc();
     CpuRelax(spin++);
   }
   // Crash point: die holding a freshly won internal lock; waiters reclaim it through the
@@ -846,6 +855,7 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
                                  common::Key pivot, common::GlobalAddress new_child,
                                  common::GlobalAddress left_child) {
   (void)left_child;
+  metrics_.parent_inserts->Inc();
   const InternalLayout& IL = internal_layout_;
   common::GlobalAddress cur = static_cast<size_t>(level) < path.size()
                                   ? path[static_cast<size_t>(level)]

@@ -23,10 +23,12 @@ void Client::MaybeInjectTimeout(common::GlobalAddress addr, const char* verb) {
   NicModel& nic = pool_->node_for(addr).nic();
   nic.ChargeVerbs(1);
   pool_->TickClock();  // even a timed-out verb advances logical time
-  op_latency_ns_ += injector_->config().timeout_latency_ns;
+  const double t0 = sim_ns_;
+  AdvanceSim(injector_->config().timeout_latency_ns);
   op_rtts_ += 1;
   op_verbs_ += 1;
   op_injected_faults_ += 1;
+  TraceVerb("TIMEOUT", t0);
   throw VerbError(VerbError::Kind::kTimeout,
                   std::string("injected NIC timeout on ") + verb);
 }
@@ -64,7 +66,7 @@ void Client::ChargeRead(NicModel& nic, uint64_t bytes, uint64_t verbs, double la
   nic.ChargeVerbs(verbs);
   nic.ChargeBytesOut(bytes);
   pool_->TickClock();
-  op_latency_ns_ += latency_ns;
+  AdvanceSim(latency_ns);
   op_rtts_ += 1;
   op_verbs_ += verbs;
   op_bytes_read_ += bytes;
@@ -74,7 +76,7 @@ void Client::ChargeWrite(NicModel& nic, uint64_t bytes, uint64_t verbs, double l
   nic.ChargeVerbs(verbs);
   nic.ChargeBytesIn(bytes);
   pool_->TickClock();
-  op_latency_ns_ += latency_ns;
+  AdvanceSim(latency_ns);
   op_rtts_ += 1;
   op_verbs_ += verbs;
   op_bytes_written_ += bytes;
@@ -85,7 +87,7 @@ void Client::ChargeAtomic(NicModel& nic) {
   nic.ChargeBytesIn(8);
   pool_->TickClock();
   nic.ChargeBytesOut(8);
-  op_latency_ns_ += nic.AtomicLatencyNs();
+  AdvanceSim(nic.AtomicLatencyNs());
   op_rtts_ += 1;
   op_verbs_ += 1;
   op_bytes_read_ += 8;
@@ -95,6 +97,7 @@ void Client::ChargeAtomic(NicModel& nic) {
 void Client::Read(common::GlobalAddress addr, void* dst, uint32_t len) {
   CheckFenced();
   MaybeInjectTimeout(addr, "READ");
+  const double t0 = sim_ns_;
   const uint8_t* src = Resolve(addr, len);
   uint8_t* local = static_cast<uint8_t*>(dst);
   // Block-atomic copy: each 64-byte block is observed whole, but a multi-block READ
@@ -114,11 +117,13 @@ void Client::Read(common::GlobalAddress addr, void* dst, uint32_t len) {
   }
   NicModel& nic = pool_->node_for(addr).nic();
   ChargeRead(nic, len, 1, nic.VerbLatencyNs(len));
+  TraceVerb("READ", t0);
 }
 
 void Client::Write(common::GlobalAddress addr, const void* src, uint32_t len) {
   CheckFenced();
   MaybeInjectTimeout(addr, "WRITE");
+  const double t0 = sim_ns_;
   uint8_t* dst = Resolve(addr, len);
   const uint8_t* local = static_cast<const uint8_t*>(src);
   const uint32_t cut =
@@ -133,6 +138,7 @@ void Client::Write(common::GlobalAddress addr, const void* src, uint32_t len) {
   }
   NicModel& nic = pool_->node_for(addr).nic();
   ChargeWrite(nic, len, 1, nic.VerbLatencyNs(len));
+  TraceVerb("WRITE", t0);
 }
 
 uint64_t Client::Cas(common::GlobalAddress addr, uint64_t compare, uint64_t swap) {
@@ -140,12 +146,16 @@ uint64_t Client::Cas(common::GlobalAddress addr, uint64_t compare, uint64_t swap
   MaybeInjectTimeout(addr, "CAS");
   uint8_t* p = Resolve(addr, 8);
   assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
+  const double t0 = sim_ns_;
   if (injector_ != nullptr && injector_->ShouldFailCas()) {
-    return SpuriousCasFailure(addr, p, compare, ~uint64_t{0});
+    const uint64_t observed = SpuriousCasFailure(addr, p, compare, ~uint64_t{0});
+    TraceVerb("CAS", t0);
+    return observed;
   }
   const uint64_t old = pool_->fabric().AtomicWord(
       p, [&](uint64_t cur) { return cur == compare ? swap : cur; });
   ChargeAtomic(pool_->node_for(addr).nic());
+  TraceVerb("CAS", t0);
   return old;
 }
 
@@ -155,8 +165,11 @@ uint64_t Client::MaskedCas(common::GlobalAddress addr, uint64_t compare, uint64_
   MaybeInjectTimeout(addr, "MASKED_CAS");
   uint8_t* p = Resolve(addr, 8);
   assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
+  const double t0 = sim_ns_;
   if (injector_ != nullptr && injector_->ShouldFailCas()) {
-    return SpuriousCasFailure(addr, p, compare, compare_mask);
+    const uint64_t observed = SpuriousCasFailure(addr, p, compare, compare_mask);
+    TraceVerb("MASKED_CAS", t0);
+    return observed;
   }
   const uint64_t old = pool_->fabric().AtomicWord(p, [&](uint64_t cur) {
     if ((cur & compare_mask) == (compare & compare_mask)) {
@@ -165,6 +178,7 @@ uint64_t Client::MaskedCas(common::GlobalAddress addr, uint64_t compare, uint64_
     return cur;
   });
   ChargeAtomic(pool_->node_for(addr).nic());
+  TraceVerb("MASKED_CAS", t0);
   return old;
 }
 
@@ -185,9 +199,11 @@ uint64_t Client::FetchAdd(common::GlobalAddress addr, uint64_t delta) {
   MaybeInjectTimeout(addr, "FETCH_ADD");
   uint8_t* p = Resolve(addr, 8);
   assert(reinterpret_cast<uintptr_t>(p) % 8 == 0 && "RDMA atomics require 8-byte alignment");
+  const double t0 = sim_ns_;
   const uint64_t old =
       pool_->fabric().AtomicWord(p, [&](uint64_t cur) { return cur + delta; });
   ChargeAtomic(pool_->node_for(addr).nic());
+  TraceVerb("FETCH_ADD", t0);
   return old;
 }
 
@@ -198,6 +214,7 @@ void Client::ReadBatch(const std::vector<BatchEntry>& entries) {
   // One doorbell, one fabric round trip: a timeout fails the whole batch atomically.
   CheckFenced();
   MaybeInjectTimeout(entries[0].addr, "READ_BATCH");
+  const double t0 = sim_ns_;
   uint64_t total_bytes = 0;
   for (const auto& e : entries) {
     const uint8_t* src = Resolve(e.addr, e.len);
@@ -217,6 +234,7 @@ void Client::ReadBatch(const std::vector<BatchEntry>& entries) {
   // All batched verbs target the same MN in our layouts; charge the first entry's NIC.
   NicModel& nic = pool_->node_for(entries[0].addr).nic();
   ChargeRead(nic, total_bytes, entries.size(), nic.BatchLatencyNs(total_bytes));
+  TraceVerb("READ_BATCH", t0);
 }
 
 void Client::WriteBatch(const std::vector<BatchEntry>& entries) {
@@ -225,6 +243,7 @@ void Client::WriteBatch(const std::vector<BatchEntry>& entries) {
   }
   CheckFenced();
   MaybeInjectTimeout(entries[0].addr, "WRITE_BATCH");
+  const double t0 = sim_ns_;
   uint64_t total_bytes = 0;
   for (const auto& e : entries) {
     uint8_t* dst = Resolve(e.addr, e.len);
@@ -243,6 +262,7 @@ void Client::WriteBatch(const std::vector<BatchEntry>& entries) {
   }
   NicModel& nic = pool_->node_for(entries[0].addr).nic();
   ChargeWrite(nic, total_bytes, entries.size(), nic.BatchLatencyNs(total_bytes));
+  TraceVerb("WRITE_BATCH", t0);
 }
 
 common::GlobalAddress Client::Alloc(size_t bytes, size_t align) {
@@ -254,7 +274,7 @@ common::GlobalAddress Client::Alloc(size_t bytes, size_t align) {
     const uint16_t node_id = pool_->NextAllocNode();
     const uint64_t base = pool_->node(node_id).AllocateChunk((bytes + 63) & ~size_t{63});
     assert(base != 0 && "memory node region exhausted; raise region_bytes_per_mn");
-    op_latency_ns_ += pool_->config().rpc_latency_ns;
+    AdvanceSim(pool_->config().rpc_latency_ns);
     return common::GlobalAddress(node_id, base);
   }
   size_t aligned_used = (chunk_used_ + align - 1) & ~(align - 1);
@@ -267,7 +287,7 @@ common::GlobalAddress Client::Alloc(size_t bytes, size_t align) {
     chunk_size_ = pool_->config().chunk_bytes;
     chunk_used_ = 0;
     aligned_used = 0;
-    op_latency_ns_ += pool_->config().rpc_latency_ns;
+    AdvanceSim(pool_->config().rpc_latency_ns);
   }
   common::GlobalAddress result = chunk_base_ + aligned_used;
   chunk_used_ = aligned_used + bytes;
@@ -276,6 +296,7 @@ common::GlobalAddress Client::Alloc(size_t bytes, size_t align) {
 
 void Client::BeginOp() {
   in_op_ = true;
+  op_start_ns_ = sim_ns_;
   op_latency_ns_ = 0;
   op_rtts_ = 0;
   op_verbs_ = 0;
@@ -307,6 +328,10 @@ void Client::EndOp(OpType type) {
     s.max_rtts_per_op = op_rtts_;
   }
   s.latency_ns.Record(static_cast<uint64_t>(op_latency_ns_));
+  if (trace_ != nullptr) {
+    trace_->Push(OpTypeName(type), obs::TraceCat::kOp, op_start_ns_, sim_ns_ - op_start_ns_,
+                 pool_->ClockNow());
+  }
 }
 
 void Client::AbortOp() { in_op_ = false; }

@@ -15,6 +15,7 @@
 #include "src/dmsim/fault_injector.h"
 #include "src/dmsim/op_stats.h"
 #include "src/dmsim/pool.h"
+#include "src/obs/trace.h"
 
 namespace dmsim {
 
@@ -81,11 +82,46 @@ class Client {
   void CountCacheHit() { op_cache_hits_++; }
   void CountCacheMiss() { op_cache_misses_++; }
   // Charges consumer-side delay (e.g. timeout-retry backoff) to the current op's latency.
-  void ChargeDelayNs(double ns) { op_latency_ns_ += ns; }
+  void ChargeDelayNs(double ns) { AdvanceSim(ns); }
 
   // Simulated time consumed by the verbs of the current op so far (ns).
   double CurrentOpLatencyNs() const { return op_latency_ns_; }
   uint64_t CurrentOpRtts() const { return op_rtts_; }
+
+  // ---- Tracing (src/obs/trace.h) ---------------------------------------------------------
+  //
+  // When a ring is attached, every verb, operation bracket, and phase scope is recorded
+  // against the client's cumulative simulated time. The ring is owned by the caller and must
+  // outlive the client's use of it; one ring per client (clients are single-threaded).
+
+  void set_trace(obs::TraceRing* ring) { trace_ = ring; }
+  obs::TraceRing* trace() { return trace_; }
+
+  // Cumulative simulated time this client has consumed (ns) — the trace timeline.
+  double SimNowNs() const { return sim_ns_; }
+
+  // Records a phase event covering [start_ns, SimNowNs()]; `name` must be static-duration.
+  void TracePhase(const char* name, double start_ns) {
+    if (trace_ != nullptr) {
+      trace_->Push(name, obs::TraceCat::kPhase, start_ns, sim_ns_ - start_ns,
+                   pool_->ClockNow());
+    }
+  }
+
+  // RAII phase marker: PhaseScope p(client, "descend"); records on scope exit.
+  class PhaseScope {
+   public:
+    PhaseScope(Client& client, const char* name)
+        : client_(client), name_(name), start_ns_(client.SimNowNs()) {}
+    ~PhaseScope() { client_.TracePhase(name_, start_ns_); }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    Client& client_;
+    const char* name_;
+    double start_ns_;
+  };
 
   // Current value of the pool's logical clock (ticked once per verb, cluster-wide). Lease
   // expiries are stamped and compared against this.
@@ -118,6 +154,18 @@ class Client {
   void ChargeRead(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns);
   void ChargeWrite(NicModel& nic, uint64_t bytes, uint64_t verbs, double latency_ns);
   void ChargeAtomic(NicModel& nic);
+  // Advances the simulated clock and charges the current op bracket.
+  void AdvanceSim(double ns) {
+    op_latency_ns_ += ns;
+    sim_ns_ += ns;
+  }
+  // Records a verb event covering [start_ns, sim now] when a trace ring is attached.
+  void TraceVerb(const char* name, double start_ns) {
+    if (trace_ != nullptr) {
+      trace_->Push(name, obs::TraceCat::kVerb, start_ns, sim_ns_ - start_ns,
+                   pool_->ClockNow());
+    }
+  }
   // Pre-verb injection gate: throws VerbError when this verb times out (charging the wasted
   // work-queue element first).
   void MaybeInjectTimeout(common::GlobalAddress addr, const char* verb);
@@ -133,6 +181,11 @@ class Client {
   common::GlobalAddress chunk_base_ = common::GlobalAddress::Null();
   size_t chunk_used_ = 0;
   size_t chunk_size_ = 0;
+
+  // Observability.
+  obs::TraceRing* trace_ = nullptr;
+  double sim_ns_ = 0;       // cumulative simulated time (trace timeline)
+  double op_start_ns_ = 0;  // sim_ns_ at BeginOp
 
   // Current-op accumulators.
   bool in_op_ = false;

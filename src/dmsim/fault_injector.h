@@ -19,6 +19,7 @@
 
 #include "src/common/rand.h"
 #include "src/dmsim/sim_config.h"
+#include "src/obs/metrics.h"
 
 namespace dmsim {
 
@@ -107,6 +108,7 @@ class FaultInjector {
       return false;
     }
     counts_.timeouts++;
+    FaultMetric("dmsim.fault.timeouts");
     return true;
   }
 
@@ -117,6 +119,7 @@ class FaultInjector {
       return false;
     }
     counts_.cas_failures++;
+    FaultMetric("dmsim.fault.cas_failures");
     return true;
   }
 
@@ -142,8 +145,10 @@ class FaultInjector {
     const uint32_t cut = lo + 64 * static_cast<uint32_t>(rng_.Uniform(boundaries));
     if (is_write) {
       counts_.torn_writes++;
+      FaultMetric("dmsim.fault.torn_writes");
     } else {
       counts_.torn_reads++;
+      FaultMetric("dmsim.fault.torn_reads");
     }
     return cut;
   }
@@ -164,12 +169,15 @@ class FaultInjector {
     switch (point) {
       case CrashPoint::kPostLockAcquire:
         counts_.crash_post_lock++;
+        FaultMetric("dmsim.fault.crash_post_lock");
         break;
       case CrashPoint::kMidSplit:
         counts_.crash_mid_split++;
+        FaultMetric("dmsim.fault.crash_mid_split");
         break;
       case CrashPoint::kMidWriteBack:
         counts_.crash_mid_write_back++;
+        FaultMetric("dmsim.fault.crash_mid_write_back");
         break;
     }
     return true;
@@ -212,6 +220,12 @@ class FaultInjector {
  private:
   bool Armed() const { return enabled_ && suspended_ == 0; }
   bool Draw(double prob) { return rng_.NextDouble() < prob; }
+
+  // Mirrors a fired fault into the global metric registry (per-kind named counter). `name`
+  // must be a string literal; the handle is resolved once per site.
+  static void FaultMetric(const char* name) {
+    obs::MetricRegistry::Global().GetCounter(name)->Inc();
+  }
 
   double CrashProbFor(CrashPoint point) const {
     switch (point) {

@@ -23,6 +23,24 @@ enum class OpType : int {
 };
 inline constexpr int kNumOpTypes = 6;
 
+inline const char* OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kSearch:
+      return "search";
+    case OpType::kInsert:
+      return "insert";
+    case OpType::kUpdate:
+      return "update";
+    case OpType::kDelete:
+      return "delete";
+    case OpType::kScan:
+      return "scan";
+    case OpType::kOther:
+      return "other";
+  }
+  return "?";
+}
+
 // Aggregates for one op type on one client. Merge per-client copies after the run.
 struct OpTypeStats {
   uint64_t ops = 0;

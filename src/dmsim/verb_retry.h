@@ -14,6 +14,7 @@
 
 #include "src/dmsim/client.h"
 #include "src/dmsim/fault_injector.h"
+#include "src/obs/metrics.h"
 
 namespace dmsim {
 
@@ -38,6 +39,7 @@ decltype(auto) WithVerbRetry(Client& client, const VerbRetryPolicy& policy, Fn&&
         throw;
       }
       client.CountRetry();
+      obs::MetricRegistry::Global().GetCounter("dmsim.retry.timeout_backoff")->Inc();
       client.ChargeDelayNs(backoff_ns);
       backoff_ns = std::min(backoff_ns * 2, policy.backoff_cap_ns);
       std::this_thread::yield();

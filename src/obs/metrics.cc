@@ -1,0 +1,129 @@
+#include "src/obs/metrics.h"
+
+#include <cassert>
+#include <utility>
+
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_registry_uid{1};
+
+// Per-thread cache of (registry uid -> shard). Keyed by uid, not address, so a stale entry
+// for a destroyed registry can never alias a new one; it simply never matches again.
+struct ShardCacheEntry {
+  uint64_t uid;
+  MetricRegistry::Shard* shard;
+};
+thread_local std::vector<ShardCacheEntry> t_shard_cache;
+
+}  // namespace
+
+MetricRegistry::MetricRegistry()
+    : uid_(g_next_registry_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* const g = new MetricRegistry();  // leaked: outlives all threads
+  return *g;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_ids_.find(name);
+  if (it != counter_ids_.end()) {
+    return &counters_[static_cast<size_t>(it->second)];
+  }
+  const int id = static_cast<int>(counter_names_.size());
+  assert(id < kMaxCounters && "raise MetricRegistry::kMaxCounters");
+  counter_names_.push_back(name);
+  counter_ids_.emplace(name, id);
+  counters_.emplace_back(Counter(this, id));
+  return &counters_.back();
+}
+
+MetricRegistry::Shard* MetricRegistry::ShardForThisThread() {
+  for (const ShardCacheEntry& e : t_shard_cache) {
+    if (e.uid == uid_) {
+      return e.shard;
+    }
+  }
+  auto shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(shard));
+  }
+  t_shard_cache.push_back({uid_, raw});
+  return raw;
+}
+
+void MetricRegistry::AddToCounter(int id, uint64_t delta) {
+  ShardForThisThread()->cells[static_cast<size_t>(id)].fetch_add(delta,
+                                                                 std::memory_order_relaxed);
+}
+
+GaugeHandle MetricRegistry::RegisterGauge(const std::string& name,
+                                          std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_gauge_token_++;
+  gauges_.push_back(Gauge{token, name, std::move(fn)});
+  return GaugeHandle(this, token);
+}
+
+void MetricRegistry::UnregisterGauge(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = gauges_.begin(); it != gauges_.end(); ++it) {
+    if (it->token == token) {
+      gauges_.erase(it);
+      return;
+    }
+  }
+}
+
+std::map<std::string, double> MetricRegistry::Scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (size_t id = 0; id < counter_names_.size(); ++id) {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->cells[id].load(std::memory_order_relaxed);
+    }
+    out[counter_names_[id]] = static_cast<double>(total);
+  }
+  for (const Gauge& g : gauges_) {
+    out[g.name] += g.fn();
+  }
+  return out;
+}
+
+void MetricRegistry::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& cell : shard->cells) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+GaugeHandle& GaugeHandle::operator=(GaugeHandle&& other) noexcept {
+  if (this != &other) {
+    if (registry_ != nullptr) {
+      registry_->UnregisterGauge(token_);
+    }
+    registry_ = other.registry_;
+    token_ = other.token_;
+    other.registry_ = nullptr;
+    other.token_ = 0;
+  }
+  return *this;
+}
+
+GaugeHandle::~GaugeHandle() {
+  if (registry_ != nullptr) {
+    registry_->UnregisterGauge(token_);
+  }
+}
+
+}  // namespace obs

@@ -1,0 +1,127 @@
+// Lightweight observability: a registry of named, self-registering metrics.
+//
+// Two metric kinds cover everything the simulator needs to explain a run:
+//   * Counter — a monotonic count incremented on the hot path. Increments land in a
+//     per-thread shard (one relaxed atomic add, no cache line shared between workers);
+//     Scrape() sums the shards. Cheap enough for per-verb sites.
+//   * Gauge — a callback evaluated at scrape time, for state owned by a component (cache
+//     bytes in use, hit totals). Components self-register in their constructor and the RAII
+//     handle unregisters on destruction; same-name gauges sum, so per-instance registrations
+//     (one per IndexCache, say) aggregate naturally.
+//
+// The process-global registry (MetricRegistry::Global()) is what dmsim, the tree, and the
+// caches register against; benches Scrape() it between runs and ResetCounters() after. Local
+// registries exist for tests. A registry must outlive every thread that incremented one of
+// its counters.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace obs {
+
+class MetricRegistry;
+
+// Handle to a named counter. Obtained once (GetCounter) and kept; Add() is hot-path safe.
+class Counter {
+ public:
+  void Add(uint64_t delta);
+  void Inc() { Add(1); }
+
+ private:
+  friend class MetricRegistry;
+  Counter(MetricRegistry* registry, int id) : registry_(registry), id_(id) {}
+
+  MetricRegistry* registry_;
+  int id_;
+};
+
+// RAII gauge registration; move-only, unregisters on destruction.
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  GaugeHandle(GaugeHandle&& other) noexcept { *this = std::move(other); }
+  GaugeHandle& operator=(GaugeHandle&& other) noexcept;
+  GaugeHandle(const GaugeHandle&) = delete;
+  GaugeHandle& operator=(const GaugeHandle&) = delete;
+  ~GaugeHandle();
+
+ private:
+  friend class MetricRegistry;
+  GaugeHandle(MetricRegistry* registry, uint64_t token)
+      : registry_(registry), token_(token) {}
+
+  MetricRegistry* registry_ = nullptr;
+  uint64_t token_ = 0;
+};
+
+class MetricRegistry {
+ public:
+  // Hard cap on distinct counters per registry; shards are fixed-size arrays so concurrent
+  // increments never race a resize.
+  static constexpr int kMaxCounters = 256;
+
+  struct Shard {
+    std::array<std::atomic<uint64_t>, kMaxCounters> cells{};
+  };
+
+  MetricRegistry();
+  ~MetricRegistry();
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // The process-wide registry every subsystem wires into (never destroyed).
+  static MetricRegistry& Global();
+
+  // Returns the stable handle for `name`, creating the counter on first use.
+  Counter* GetCounter(const std::string& name);
+
+  // Registers a scrape-time gauge. Same-name gauges sum in Scrape().
+  [[nodiscard]] GaugeHandle RegisterGauge(const std::string& name,
+                                          std::function<double()> fn);
+
+  // name -> value for every counter (summed over thread shards) and gauge (summed per name).
+  std::map<std::string, double> Scrape() const;
+
+  // Zeroes every counter in every shard. Gauges are untouched — they read live state.
+  void ResetCounters();
+
+ private:
+  friend class Counter;
+  friend class GaugeHandle;
+
+  struct Gauge {
+    uint64_t token;
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  Shard* ShardForThisThread();
+  void AddToCounter(int id, uint64_t delta);
+  void UnregisterGauge(uint64_t token);
+
+  const uint64_t uid_;  // process-unique; keys the thread-local shard cache safely
+
+  mutable std::mutex mu_;
+  std::map<std::string, int> counter_ids_;
+  std::vector<std::string> counter_names_;
+  std::deque<Counter> counters_;  // stable addresses for handed-out pointers
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Gauge> gauges_;
+  uint64_t next_gauge_token_ = 1;
+};
+
+inline void Counter::Add(uint64_t delta) { registry_->AddToCounter(id_, delta); }
+
+}  // namespace obs
+
+#endif  // SRC_OBS_METRICS_H_

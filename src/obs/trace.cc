@@ -1,0 +1,77 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+namespace obs {
+
+const char* TraceCatName(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kVerb:
+      return "verb";
+    case TraceCat::kOp:
+      return "op";
+    case TraceCat::kPhase:
+      return "phase";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
+
+void TraceRing::Push(const char* name, TraceCat cat, double ts_ns, double dur_ns,
+                     uint64_t logical) {
+  if (count_ == ring_.size()) {
+    dropped_++;
+  } else {
+    count_++;
+  }
+  ring_[next_] = TraceEvent{name, cat, ts_ns, dur_ns, logical};
+  next_ = (next_ + 1) % ring_.size();
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  const size_t start = (next_ + ring_.size() - count_) % ring_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path, const std::vector<TraceSource>& sources) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+  bool first = true;
+  for (const TraceSource& src : sources) {
+    if (src.ring == nullptr) {
+      continue;
+    }
+    for (const TraceEvent& e : src.ring->Events()) {
+      // Complete ('X') events, microsecond timestamps, one per line. Chrome's viewer nests
+      // same-row events by timestamp containment, so verbs render under their op.
+      std::fprintf(f,
+                   "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.4f,"
+                   "\"dur\":%.4f,\"pid\":0,\"tid\":%d,\"args\":{\"lc\":%llu}}",
+                   first ? "" : ",\n", e.name, TraceCatName(e.cat), e.ts_ns / 1000.0,
+                   e.dur_ns / 1000.0, src.tid, static_cast<unsigned long long>(e.logical));
+      first = false;
+    }
+    if (src.ring->dropped() > 0) {
+      std::fprintf(f,
+                   "%s{\"name\":\"events_dropped\",\"cat\":\"meta\",\"ph\":\"C\","
+                   "\"ts\":0,\"pid\":0,\"tid\":%d,\"args\":{\"dropped\":%llu}}",
+                   first ? "" : ",\n", src.tid,
+                   static_cast<unsigned long long>(src.ring->dropped()));
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace obs

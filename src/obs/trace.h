@@ -1,0 +1,71 @@
+// Per-client bounded trace ring: verb/op/phase events on the simulated timeline.
+//
+// Every dmsim::Client can carry one TraceRing (src/dmsim/client.h::set_trace). Events are
+// stamped with the client's cumulative simulated time (ns) and the pool's logical clock, so a
+// dump reconstructs exactly which verbs an operation issued and how its RTT budget was spent
+// — the per-op timeline the paper's Table 1 argues about. The ring is single-writer (one
+// client == one worker thread) and bounded: when full, the oldest events are overwritten and
+// dropped() reports how many were lost.
+//
+// WriteChromeTrace() emits the rings as Chrome-tracing JSON ("traceEvents" with complete 'X'
+// events, microsecond units): load chrome://tracing or https://ui.perfetto.dev on the file
+// and each client is a row, with verbs nested under their parent op by timestamp containment.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace obs {
+
+enum class TraceCat : uint8_t {
+  kVerb,   // one one-sided verb (READ, WRITE, CAS, ...) or injected TIMEOUT
+  kOp,     // one index operation (search, insert, ...)
+  kPhase,  // a named sub-phase of an op (descend, split, write_back, ...)
+};
+
+const char* TraceCatName(TraceCat cat);
+
+struct TraceEvent {
+  const char* name;  // static-duration string (verb/op/phase label)
+  TraceCat cat;
+  double ts_ns;    // simulated-time start
+  double dur_ns;   // simulated duration
+  uint64_t logical;  // pool logical clock when the event completed
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 1 << 16);
+
+  void Push(const char* name, TraceCat cat, double ts_ns, double dur_ns, uint64_t logical);
+
+  size_t size() const { return count_; }
+  size_t capacity() const { return ring_.size(); }
+  uint64_t dropped() const { return dropped_; }
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;   // slot the next event overwrites
+  size_t count_ = 0;  // retained (<= capacity)
+  uint64_t dropped_ = 0;
+};
+
+// One Chrome-trace row: `tid` labels the row (use the dmsim client id).
+struct TraceSource {
+  int tid;
+  const TraceRing* ring;
+};
+
+// Writes all sources as one Chrome-trace JSON file (one event per line). Returns false on
+// I/O failure.
+bool WriteChromeTrace(const std::string& path, const std::vector<TraceSource>& sources);
+
+}  // namespace obs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -1,43 +1,13 @@
 #include "src/ycsb/runner.h"
 
 #include <algorithm>
-#include <deque>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "src/obs/trace.h"
+
 namespace ycsb {
-
-namespace {
-
-// Small per-worker window emulating read-delegation/write-combining: an op whose key was
-// operated on within the last `window` ops by this worker is coalesced (served locally).
-class RdwcWindow {
- public:
-  RdwcWindow(bool enabled, int window) : enabled_(enabled), window_(window) {}
-
-  bool Coalesce(common::Key key) {
-    if (!enabled_) {
-      return false;
-    }
-    for (common::Key k : recent_) {
-      if (k == key) {
-        return true;
-      }
-    }
-    recent_.push_back(key);
-    if (recent_.size() > static_cast<size_t>(window_)) {
-      recent_.pop_front();
-    }
-    return false;
-  }
-
- private:
-  bool enabled_;
-  int window_;
-  std::deque<common::Key> recent_;
-};
-
-}  // namespace
 
 RunResult LoadOnly(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
                    const RunnerOptions& options) {
@@ -63,33 +33,85 @@ RunResult RunWorkload(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
   RunResult result;
 
   // Load phase (not measured): sorted bulk load, exactly like the paper populates 60 M items
-  // before each run.
+  // before each run. Its fault totals are kept separately — a crash or torn write during the
+  // load is as real as one during the measured phase and must not vanish from the report.
   if (options.num_items > 0) {
-    LoadOnly(index, pool, options);
+    const RunResult load = LoadOnly(index, pool, options);
+    result.load_faults.Merge(load.faults);
   }
 
+  const int threads = std::max(options.threads, 1);
+  const int nwin = std::max(options.sample_windows, 0);
+  const bool tracing = !options.trace_out.empty();
+
   std::atomic<uint64_t> next_id{options.num_items};
-  std::atomic<uint64_t> coalesced{0};
-  const uint64_t ops_per_thread = options.num_ops / static_cast<uint64_t>(options.threads);
-  std::vector<dmsim::ClientStats> per_thread(static_cast<size_t>(options.threads));
-  std::vector<dmsim::FaultCounts> per_thread_faults(static_cast<size_t>(options.threads));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(options.threads));
-  for (int t = 0; t < options.threads; ++t) {
-    threads.emplace_back([&, t] {
+  // Distribute num_ops across workers without truncation: the first num_ops % threads
+  // workers take one extra op, so every generated op is accounted for.
+  const uint64_t base_ops = options.num_ops / static_cast<uint64_t>(threads);
+  const uint64_t rem_ops = options.num_ops % static_cast<uint64_t>(threads);
+
+  struct WorkerOut {
+    dmsim::ClientStats stats;
+    dmsim::FaultCounts faults;
+    uint64_t issued = 0;
+    uint64_t coalesced = 0;
+    uint64_t warmup = 0;
+    std::vector<WindowSample> windows;
+  };
+  std::vector<WorkerOut> out(static_cast<size_t>(threads));
+  std::vector<std::unique_ptr<obs::TraceRing>> rings;
+  if (tracing) {
+    rings.resize(static_cast<size_t>(threads));
+    for (auto& r : rings) {
+      r = std::make_unique<obs::TraceRing>(options.trace_capacity);
+    }
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      WorkerOut& my = out[static_cast<size_t>(t)];
       dmsim::Client client(pool, t + 1);
+      if (tracing) {
+        client.set_trace(rings[static_cast<size_t>(t)].get());
+      }
       OpGenerator gen(mix, options.num_items, &next_id,
                       options.seed * 7919 + static_cast<uint64_t>(t));
       RdwcWindow rdwc(options.rdwc, options.rdwc_window);
       std::vector<std::pair<common::Key, common::Value>> scan_buf;
-      uint64_t local_coalesced = 0;
-      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+
+      const uint64_t my_ops =
+          base_ops + (static_cast<uint64_t>(t) < rem_ops ? 1 : 0);
+      const double wf = std::clamp(options.warmup_frac, 0.0, 1.0);
+      const uint64_t warm = static_cast<uint64_t>(wf * static_cast<double>(my_ops));
+      const uint64_t measured = my_ops - warm;
+      my.warmup = warm;
+      if (nwin > 0) {
+        my.windows.resize(static_cast<size_t>(nwin));
+      }
+
+      for (uint64_t i = 0; i < my_ops; ++i) {
+        if (warm > 0 && i == warm) {
+          // Warmup boundary: caches/hotspot buffer stay hot, measured demand starts clean.
+          client.ResetStats();
+        }
+        const bool in_warmup = i < warm;
+        WindowSample* win = nullptr;
+        if (!in_warmup && nwin > 0 && measured > 0) {
+          const uint64_t w = (i - warm) * static_cast<uint64_t>(nwin) / measured;
+          win = &my.windows[static_cast<size_t>(w)];
+        }
         const Op op = gen.Next();
         if (op.kind != OpKind::kScan && op.kind != OpKind::kInsert &&
             rdwc.Coalesce(op.key)) {
-          local_coalesced++;
+          my.coalesced++;
+          if (win != nullptr) {
+            win->coalesced_ops++;
+          }
           continue;
         }
+        const double sim_before = client.SimNowNs();
         common::Value v = 0;
         switch (op.kind) {
           case OpKind::kRead:
@@ -105,25 +127,51 @@ RunResult RunWorkload(baselines::RangeIndex* index, dmsim::MemoryPool* pool,
             index->Scan(client, op.key, static_cast<size_t>(op.scan_len), &scan_buf);
             break;
         }
+        my.issued++;
+        if (win != nullptr) {
+          const double dt = client.SimNowNs() - sim_before;
+          win->issued_ops++;
+          win->sim_ns += dt;
+          win->latency_ns.Record(static_cast<uint64_t>(dt));
+        }
       }
-      per_thread[static_cast<size_t>(t)] = client.stats();
+      my.stats = client.stats();
       if (client.injector() != nullptr) {
-        per_thread_faults[static_cast<size_t>(t)] = client.injector()->counts();
+        my.faults = client.injector()->counts();
       }
-      coalesced.fetch_add(local_coalesced, std::memory_order_relaxed);
     });
   }
-  for (auto& th : threads) {
+  for (auto& th : workers) {
     th.join();
   }
-  for (const auto& s : per_thread) {
-    result.stats.Merge(s);
+
+  if (nwin > 0) {
+    result.windows.resize(static_cast<size_t>(nwin));
   }
-  for (const auto& f : per_thread_faults) {
-    result.faults.Merge(f);
+  for (const WorkerOut& my : out) {
+    result.stats.Merge(my.stats);
+    result.faults.Merge(my.faults);
+    result.executed_ops += my.issued;
+    result.coalesced_ops += my.coalesced;
+    result.warmup_ops += my.warmup;
+    for (size_t w = 0; w < my.windows.size(); ++w) {
+      WindowSample& dst = result.windows[w];
+      const WindowSample& src = my.windows[w];
+      dst.issued_ops += src.issued_ops;
+      dst.coalesced_ops += src.coalesced_ops;
+      dst.sim_ns += src.sim_ns;
+      dst.latency_ns.Merge(src.latency_ns);
+    }
   }
-  result.coalesced_ops = coalesced.load();
-  result.executed_ops = options.num_ops - result.coalesced_ops;
+
+  if (tracing) {
+    std::vector<obs::TraceSource> sources;
+    sources.reserve(rings.size());
+    for (size_t t = 0; t < rings.size(); ++t) {
+      sources.push_back({static_cast<int>(t) + 1, rings[t].get()});
+    }
+    obs::WriteChromeTrace(options.trace_out, sources);
+  }
   return result;
 }
 

@@ -4,8 +4,13 @@
 #define SRC_YCSB_RUNNER_H_
 
 #include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "src/baselines/range_index.h"
+#include "src/common/histogram.h"
 #include "src/dmsim/fault_injector.h"
 #include "src/dmsim/op_stats.h"
 #include "src/dmsim/pool.h"
@@ -14,6 +19,45 @@
 
 namespace ycsb {
 
+// Per-worker window emulating read-delegation/write-combining (paper §2.2): an op whose key
+// is among this worker's `window` most recently touched keys is coalesced (served locally).
+// True LRU: a hit refreshes the key's recency, so a hot key stays coalescible as long as it
+// keeps being touched — matching how a delegation entry stays alive while requests keep
+// arriving for it.
+class RdwcWindow {
+ public:
+  RdwcWindow(bool enabled, int window)
+      : enabled_(enabled), window_(window < 0 ? 0 : static_cast<size_t>(window)) {}
+
+  // Returns true when `key` hits the window (the op is coalesced); records the access
+  // either way.
+  bool Coalesce(common::Key key) {
+    if (!enabled_ || window_ == 0) {
+      return false;
+    }
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return true;
+    }
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+    if (lru_.size() > window_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return false;
+  }
+
+  size_t size() const { return lru_.size(); }
+
+ private:
+  bool enabled_;
+  size_t window_;
+  std::list<common::Key> lru_;  // front = most recent
+  std::unordered_map<common::Key, std::list<common::Key>::iterator> map_;
+};
+
 struct RunnerOptions {
   uint64_t num_items = 200000;   // keys loaded before the measured phase
   uint64_t num_ops = 200000;     // measured operations
@@ -21,16 +65,45 @@ struct RunnerOptions {
   int num_cns = 10;              // modeled compute nodes (paper testbed: 10)
   uint64_t seed = 1;
   // Read-delegation/write-combining (paper §2.2): ops on a key already in flight from the
-  // same CN are coalesced. Emulated per worker with a small recent-key window.
+  // same CN are coalesced. Emulated per worker with a small recent-key LRU window.
   bool rdwc = true;
   int rdwc_window = 16;
+  // Fraction of each worker's op stream treated as warmup: the ops run (so caches and the
+  // hotspot buffer are populated) but client stats are reset at the boundary, excluding
+  // them from the measured service demand.
+  double warmup_frac = 0.0;
+  // When > 0, each worker's measured op stream is cut into this many equal slices and
+  // per-slice throughput/latency samples are merged across workers into RunResult::windows.
+  int sample_windows = 0;
+  // When non-empty, every worker records verb/op/phase events into a bounded ring and the
+  // merged rings are dumped as Chrome-trace JSON (chrome://tracing, Perfetto) to this path.
+  std::string trace_out;
+  size_t trace_capacity = 1 << 16;  // events per worker ring (oldest dropped beyond this)
+};
+
+// One time slice of the measured phase, merged across workers. Simulated time, not wall
+// time, so samples are deterministic for a fixed seed and thread count.
+struct WindowSample {
+  uint64_t issued_ops = 0;     // ops that reached the index in this slice
+  uint64_t coalesced_ops = 0;  // ops served from the RDWC window in this slice
+  double sim_ns = 0;           // summed simulated service time of the issued ops
+  common::Histogram latency_ns;  // per-op simulated latency
+
+  // Single-worker-equivalent service rate for the slice (Mops per worker). Multiply by the
+  // modeled client count for closed-loop throughput, as Model() does for the aggregate.
+  double SimMops() const {
+    return sim_ns <= 0 ? 0 : static_cast<double>(issued_ops) / (sim_ns / 1e9) / 1e6;
+  }
 };
 
 struct RunResult {
-  dmsim::ClientStats stats;      // merged across workers
+  dmsim::ClientStats stats;      // merged across workers (warmup excluded)
   dmsim::FaultCounts faults;     // injector totals merged across workers (incl. crashes)
-  uint64_t executed_ops = 0;     // after RDWC coalescing
-  uint64_t coalesced_ops = 0;
+  dmsim::FaultCounts load_faults;  // faults injected during the (unmeasured) load phase
+  uint64_t executed_ops = 0;     // ops actually issued to the index (after RDWC coalescing)
+  uint64_t coalesced_ops = 0;    // executed_ops + coalesced_ops == ops generated
+  uint64_t warmup_ops = 0;       // generated ops excluded from stats as warmup
+  std::vector<WindowSample> windows;  // per-slice samples (empty unless sample_windows > 0)
   double load_factor = 0;        // remote bytes allocated / ideal KV bytes (diagnostic)
 };
 

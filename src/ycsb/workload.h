@@ -25,6 +25,10 @@ struct WorkloadMix {
   bool latest = false;  // request distribution skewed to recent inserts (YCSB D)
   double zipf_theta = 0.99;
   int max_scan_len = 100;
+  // Scramble Zipfian ranks with FNVhash64 (the YCSB default) so hot keys spread across the
+  // key space. Set false to keep raw ranks — hot keys then cluster into adjacent ids, which
+  // deliberately concentrates them in few leaves (single-leaf contention studies only).
+  bool scramble = true;
 };
 
 inline WorkloadMix WorkloadA() { return {"A", 0.5, 0.5, 0, 0}; }
@@ -92,9 +96,13 @@ class OpGenerator {
       latest_.set_max(bound > 0 ? bound : 1);
       return KeySpace::KeyAt(latest_.Next(rng_));
     }
-    // Scrambled Zipfian over the currently existing ids.
-    const uint64_t id = zipf_.Next(rng_) % (bound > 0 ? bound : 1);
-    return KeySpace::KeyAt(common::Mix64Alt(id) % (bound > 0 ? bound : 1));
+    // Zipfian over the currently existing ids: draw a rank, scramble it (default) so hot ids
+    // spread across the id space, then reduce mod the live bound.
+    const uint64_t live = bound > 0 ? bound : 1;
+    const uint64_t rank = zipf_.Next(rng_) % live;
+    const uint64_t id =
+        mix_.scramble ? common::ScrambledZipfianGenerator::Scramble(rank) % live : rank;
+    return KeySpace::KeyAt(id);
   }
 
   WorkloadMix mix_;

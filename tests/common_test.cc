@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <vector>
@@ -228,6 +229,102 @@ TEST(HistogramTest, ResetClears) {
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreOrderedAndContiguous) {
+  // Every bucket must be a non-empty interval, and consecutive buckets must tile the value
+  // space with no gap and no overlap (the pre-fix mapping violated both: buckets 4-7 were
+  // unreachable and BucketHigh(3) < BucketLow(3)).
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_LE(Histogram::BucketLow(b), Histogram::BucketHigh(b)) << "bucket " << b;
+    if (b > 0) {
+      EXPECT_EQ(Histogram::BucketLow(b), Histogram::BucketHigh(b - 1) + 1) << "bucket " << b;
+    }
+  }
+  EXPECT_EQ(Histogram::BucketLow(0), 0u);
+  EXPECT_EQ(Histogram::BucketHigh(Histogram::kBuckets - 1),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(HistogramTest, BucketRoundTripExhaustiveSmall) {
+  // v must land inside its own bucket's bounds for every small value.
+  for (uint64_t v = 0; v <= 1u << 16; ++v) {
+    const int b = Histogram::BucketFor(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, Histogram::kBuckets);
+    ASSERT_LE(Histogram::BucketLow(b), v) << "value " << v;
+    ASSERT_LE(v, Histogram::BucketHigh(b)) << "value " << v;
+  }
+}
+
+TEST(HistogramTest, BucketRoundTripSampledLarge) {
+  Rng rng(0xb0c4e7);
+  for (int i = 0; i < 200000; ++i) {
+    // Uniform over bit widths so large magnitudes are actually exercised.
+    const int shift = static_cast<int>(rng.Uniform(64));
+    const uint64_t v = rng.Next() >> shift;
+    const int b = Histogram::BucketFor(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, Histogram::kBuckets);
+    ASSERT_LE(Histogram::BucketLow(b), v) << "value " << v;
+    ASSERT_LE(v, Histogram::BucketHigh(b)) << "value " << v;
+  }
+  // Boundary values: powers of two and their neighbors.
+  for (int p = 0; p < 64; ++p) {
+    for (uint64_t v : {(uint64_t{1} << p) - 1, uint64_t{1} << p, (uint64_t{1} << p) + 1}) {
+      const int b = Histogram::BucketFor(v);
+      ASSERT_LE(Histogram::BucketLow(b), v) << "value " << v;
+      ASSERT_LE(v, Histogram::BucketHigh(b)) << "value " << v;
+    }
+  }
+}
+
+TEST(HistogramTest, EveryBucketIsReachable) {
+  std::set<int> seen;
+  for (uint64_t v = 0; v < 4096; ++v) {
+    seen.insert(Histogram::BucketFor(v));
+  }
+  for (int p = 12; p < 64; ++p) {
+    for (int sub = 0; sub < 4; ++sub) {
+      const uint64_t v = (uint64_t{1} << p) | (static_cast<uint64_t>(sub) << (p - 2));
+      seen.insert(Histogram::BucketFor(v));
+    }
+  }
+  seen.insert(Histogram::BucketFor(std::numeric_limits<uint64_t>::max()));
+  EXPECT_EQ(static_cast<int>(seen.size()), Histogram::kBuckets);
+}
+
+TEST(HistogramTest, PercentileWithinOneBucketWidth) {
+  // Fixed synthetic distribution: 1..1000 once each. The true p-th percentile is ~10*p;
+  // interpolation may be off by at most the width of the bucket the percentile lands in.
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double expect = p * 10.0;
+    const int b = Histogram::BucketFor(static_cast<uint64_t>(expect));
+    const double width =
+        static_cast<double>(Histogram::BucketHigh(b) - Histogram::BucketLow(b)) + 1;
+    EXPECT_NEAR(h.Percentile(p), expect, width) << "p" << p;
+  }
+}
+
+TEST(HashTest, FnvMix64MatchesYcsbConstruction) {
+  // FNV-1a over the 8 little-endian bytes, offset/prime from the YCSB reference.
+  const uint64_t h0 = FnvMix64(0);
+  uint64_t expect = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    expect *= 0x100000001b3ULL;
+  }
+  EXPECT_EQ(h0, expect);
+  // Deterministic and well-spread: no collisions over a dense rank range.
+  std::set<uint64_t> seen;
+  for (uint64_t r = 0; r < 20000; ++r) {
+    EXPECT_EQ(FnvMix64(r), FnvMix64(r));
+    seen.insert(FnvMix64(r));
+  }
+  EXPECT_EQ(seen.size(), 20000u);
 }
 
 TEST(BitopsTest, SetTestClear) {

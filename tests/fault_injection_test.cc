@@ -9,9 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include "src/baselines/chime_index.h"
 #include "src/common/rand.h"
 #include "src/core/tree.h"
 #include "src/dmsim/pool.h"
+#include "src/ycsb/runner.h"
 
 namespace chime {
 namespace {
@@ -467,6 +469,29 @@ TEST_F(FaultTest, InsertAfterDeletingNodeMaxima) {
     EXPECT_EQ(v, 42u);
     EXPECT_FALSE(tree_->Search(*client_, all[i].first, &v));
   }
+}
+
+TEST(InjectedFaultTest, LoadPhaseFaultsAreReported) {
+  // Faults injected during the bulk load are as real as measured-phase faults; pre-fix,
+  // RunWorkload discarded the load-phase RunResult and its counters vanished from every
+  // report. They must surface in load_faults, separately from the measured-phase totals.
+  dmsim::SimConfig cfg = TestConfig();
+  cfg.fault.seed = 11;
+  cfg.fault.tear_write_prob = 0.05;
+  cfg.fault.tear_delay_ns = 0;
+  cfg.fault.timeout_prob = 0.005;
+  auto pool = std::make_unique<dmsim::MemoryPool>(cfg);
+  baselines::ChimeIndex index(pool.get(), ChimeOptions{});
+  ycsb::RunnerOptions opts;
+  opts.num_items = 20000;
+  opts.num_ops = 2000;
+  opts.threads = 2;
+  const ycsb::RunResult run =
+      ycsb::RunWorkload(&index, pool.get(), ycsb::WorkloadC(), opts);
+  EXPECT_GT(run.load_faults.total(), 0u);
+  // The split keeps the two phases distinguishable: measured-phase counters only contain
+  // faults fired by the workload clients, not the loader.
+  EXPECT_EQ(run.executed_ops + run.coalesced_ops, opts.num_ops);
 }
 
 }  // namespace

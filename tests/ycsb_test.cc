@@ -119,6 +119,109 @@ TEST(RunnerTest, RdwcCoalescesUnderSkew) {
   EXPECT_GT(skewed.coalesced_ops, 0u);
 }
 
+TEST(RdwcWindowTest, LruRefreshesHitRecency) {
+  // Window of 2. Pre-fix, a hit did not refresh the key, so a hot key aged out of the
+  // window even while every other op touched it. With true LRU it must stay resident.
+  RdwcWindow w(/*enabled=*/true, /*window=*/2);
+  EXPECT_FALSE(w.Coalesce(1));  // {1}
+  EXPECT_FALSE(w.Coalesce(2));  // {2,1}
+  EXPECT_TRUE(w.Coalesce(1));   // hit refreshes 1 -> {1,2}
+  EXPECT_FALSE(w.Coalesce(3));  // evicts 2 (LRU), not 1 -> {3,1}
+  EXPECT_TRUE(w.Coalesce(1));   // 1 must still be resident
+  EXPECT_FALSE(w.Coalesce(2));  // 2 was the one evicted
+}
+
+TEST(RdwcWindowTest, DisabledOrZeroWindowNeverCoalesces) {
+  RdwcWindow off(/*enabled=*/false, /*window=*/16);
+  RdwcWindow zero(/*enabled=*/true, /*window=*/0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(off.Coalesce(7));
+    EXPECT_FALSE(zero.Coalesce(7));
+  }
+  EXPECT_EQ(off.size(), 0u);
+  EXPECT_EQ(zero.size(), 0u);
+}
+
+TEST(RdwcWindowTest, CapacityIsBounded) {
+  RdwcWindow w(/*enabled=*/true, /*window=*/4);
+  for (common::Key k = 1; k <= 100; ++k) {
+    w.Coalesce(k);
+  }
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(RunnerTest, OpAccountingIsExactWithUnevenThreads) {
+  // 10000 ops over 3 threads does not divide evenly; pre-fix the runner truncated
+  // ops/threads but still reported executed = num_ops - coalesced, inventing ops that were
+  // never generated. Every generated op must now be either executed or coalesced.
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  baselines::ChimeIndex index(pool.get(), chime::ChimeOptions{});
+  RunnerOptions opts;
+  opts.num_items = 5000;
+  opts.num_ops = 10000;
+  opts.threads = 3;
+  const RunResult run = RunWorkload(&index, pool.get(), WorkloadA(), opts);
+  EXPECT_EQ(run.executed_ops + run.coalesced_ops, opts.num_ops);
+  EXPECT_GT(run.executed_ops, 0u);
+  // The measured op stats must match what was actually issued.
+  EXPECT_EQ(run.stats.Combined().ops, run.executed_ops);
+}
+
+TEST(RunnerTest, OpAccountingIsExactWithoutRdwc) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  baselines::ChimeIndex index(pool.get(), chime::ChimeOptions{});
+  RunnerOptions opts;
+  opts.num_items = 2000;
+  opts.num_ops = 7001;  // prime-ish: exercises the remainder distribution
+  opts.threads = 3;
+  opts.rdwc = false;
+  const RunResult run = RunWorkload(&index, pool.get(), WorkloadC(), opts);
+  EXPECT_EQ(run.coalesced_ops, 0u);
+  EXPECT_EQ(run.executed_ops, opts.num_ops);
+}
+
+TEST(RunnerTest, WindowSamplesPartitionTheMeasuredPhase) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  baselines::ChimeIndex index(pool.get(), chime::ChimeOptions{});
+  RunnerOptions opts;
+  opts.num_items = 5000;
+  opts.num_ops = 8000;
+  opts.threads = 2;
+  opts.sample_windows = 4;
+  const RunResult run = RunWorkload(&index, pool.get(), WorkloadA(), opts);
+  ASSERT_EQ(run.windows.size(), 4u);
+  uint64_t issued = 0;
+  uint64_t coalesced = 0;
+  for (const WindowSample& w : run.windows) {
+    issued += w.issued_ops;
+    coalesced += w.coalesced_ops;
+    if (w.issued_ops > 0) {
+      EXPECT_GT(w.sim_ns, 0.0);
+      EXPECT_GT(w.SimMops(), 0.0);
+      EXPECT_EQ(w.latency_ns.count(), w.issued_ops);
+    }
+  }
+  EXPECT_EQ(issued, run.executed_ops);
+  EXPECT_EQ(coalesced, run.coalesced_ops);
+}
+
+TEST(RunnerTest, WarmupExcludedFromStatsButNotFromAccounting) {
+  auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
+  baselines::ChimeIndex index(pool.get(), chime::ChimeOptions{});
+  RunnerOptions opts;
+  opts.num_items = 5000;
+  opts.num_ops = 8000;
+  opts.threads = 2;
+  opts.rdwc = false;
+  opts.warmup_frac = 0.25;
+  const RunResult run = RunWorkload(&index, pool.get(), WorkloadC(), opts);
+  EXPECT_EQ(run.warmup_ops, 2000u);
+  // All generated ops are accounted for...
+  EXPECT_EQ(run.executed_ops, opts.num_ops);
+  // ...but the measured service demand excludes the warmup quarter.
+  EXPECT_EQ(run.stats.Combined().ops, opts.num_ops - run.warmup_ops);
+}
+
 TEST(RunnerTest, LoadOnlyPopulatesIndex) {
   auto pool = std::make_unique<dmsim::MemoryPool>(TestConfig());
   baselines::ChimeIndex index(pool.get(), chime::ChimeOptions{});
