@@ -2,12 +2,12 @@
 //
 // Runs CHIME and the three baselines (Sherman, SMART, ROLEX) on fixed seeds with a single
 // worker thread, so the measured per-op service demand is bit-for-bit reproducible, and emits
-// a schema-versioned JSON report (BENCH_PR3.json by default). CI compares the report against
+// a schema-versioned JSON report (BENCH_PR4.json by default). CI compares the report against
 // the committed baseline with ci/compare_bench.py: drift beyond the tolerance thresholds in
 // throughput, RTTs/op, bytes/op, cache hit rate, or tail latency fails the build.
 //
 // Flags:
-//   --out=PATH        where to write the JSON report (default BENCH_PR3.json)
+//   --out=PATH        where to write the JSON report (default BENCH_PR4.json)
 //   --trace_out=PATH  also run a small insert-heavy CHIME workload with per-verb tracing on
 //                     and dump it as Chrome-trace JSON (chrome://tracing / Perfetto)
 #include <cstdio>
@@ -19,7 +19,7 @@
 
 namespace {
 
-constexpr int kSchemaVersion = 1;
+constexpr int kSchemaVersion = 2;  // v2: per-run "memory" block (per-MN allocated/live bytes)
 constexpr uint64_t kSeed = 42;
 constexpr int kModeledClients = 64;
 
@@ -34,6 +34,7 @@ struct RunRow {
   bool faulted = false;
   ycsb::RunResult run;
   dmsim::ModelResult model;
+  std::vector<dmsim::MemoryPool::MnMemory> memory;  // snapshot at end of run
 };
 
 ycsb::RunnerOptions BaseOptions(const RegressEnv& renv) {
@@ -49,19 +50,21 @@ ycsb::RunnerOptions BaseOptions(const RegressEnv& renv) {
 }
 
 RunRow RunOne(bench::IndexKind kind, const ycsb::WorkloadMix& mix, const RegressEnv& renv,
-              const dmsim::SimConfig& cfg, bool faulted) {
+              const dmsim::SimConfig& cfg, bool faulted,
+              const bench::IndexTweaks& tweaks = {}) {
   bench::Env env;
   env.items = renv.items;
   env.ops = renv.ops;
   env.threads = 1;
   auto pool = std::make_unique<dmsim::MemoryPool>(cfg);
-  auto index = bench::MakeIndex(kind, pool.get(), env);
+  auto index = bench::MakeIndex(kind, pool.get(), env, tweaks);
   RunRow row;
   row.index = bench::KindName(kind);
   row.workload = mix.name;
   row.faulted = faulted;
   row.run = ycsb::RunWorkload(index.get(), pool.get(), mix, BaseOptions(renv));
   row.model = ycsb::Model(row.run, cfg, env.num_cns, kModeledClients);
+  row.memory = pool->MemoryUsage();
   return row;
 }
 
@@ -120,6 +123,22 @@ void WriteReport(const std::string& path, const RegressEnv& renv,
         static_cast<unsigned long long>(fc.crashes()));
     std::fprintf(f, "      \"load_faults_total\": %llu,\n",
                  static_cast<unsigned long long>(r.run.load_faults.total()));
+    uint64_t alloc_total = 0;
+    uint64_t live_total = 0;
+    std::fprintf(f, "      \"memory\": {\"per_mn\": [");
+    for (size_t m = 0; m < r.memory.size(); ++m) {
+      const dmsim::MemoryPool::MnMemory& mn = r.memory[m];
+      alloc_total += mn.bytes_allocated;
+      live_total += mn.bytes_live;
+      std::fprintf(f, "%s{\"node\": %d, \"bytes_allocated\": %llu, \"bytes_live\": %llu}",
+                   m == 0 ? "" : ", ", mn.node_id,
+                   static_cast<unsigned long long>(mn.bytes_allocated),
+                   static_cast<unsigned long long>(mn.bytes_live));
+    }
+    std::fprintf(f,
+                 "], \"bytes_allocated_total\": %llu, \"bytes_live_total\": %llu},\n",
+                 static_cast<unsigned long long>(alloc_total),
+                 static_cast<unsigned long long>(live_total));
     std::fprintf(f, "      \"windows\": [");
     for (size_t w = 0; w < r.run.windows.size(); ++w) {
       const ycsb::WindowSample& ws = r.run.windows[w];
@@ -160,7 +179,7 @@ void TraceRun(const std::string& trace_out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out = "BENCH_PR3.json";
+  std::string out = "BENCH_PR4.json";
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -203,6 +222,17 @@ int main(int argc, char** argv) {
   std::printf("%-8s %-2s  %8.3f Mops  (faulted, %llu faults)\n", "CHIME", "A",
               rows.back().model.throughput_mops,
               static_cast<unsigned long long>(rows.back().run.faults.total()));
+
+  // One churn run with out-of-place values: every update rewrites a fresh indirect block and
+  // retires the old one, so bytes_live in the memory block below tracks allocator recycling
+  // and epoch reclamation (regressions there show up as bytes_live_total drift).
+  bench::IndexTweaks churn_tweaks;
+  churn_tweaks.indirect = true;
+  rows.push_back(RunOne(bench::IndexKind::kChime, ycsb::WorkloadChurn(), renv, clean,
+                        /*faulted=*/false, churn_tweaks));
+  std::printf("%-8s %-5s %8.3f Mops  %6.3f rtts/op\n", "CHIME", "CHURN",
+              rows.back().model.throughput_mops,
+              rows.back().run.stats.Combined().AvgRtts());
 
   WriteReport(out, renv, rows);
   std::printf("report written to %s\n", out.c_str());

@@ -14,13 +14,19 @@ import json
 import shutil
 import sys
 
-# (metric, relative tolerance) — relative to the baseline value.
+# (metric, relative tolerance) — relative to the baseline value. Dotted names reach into
+# nested objects (e.g. the schema-v2 "memory" block).
 REL_TOLERANCES = [
     ("throughput_mops", 0.15),
     ("rtts_per_op", 0.10),
     ("bytes_per_op", 0.10),
     ("p50_ns", 0.25),
     ("p99_ns", 0.40),
+    # Runs are fixed-seed and single-threaded, so allocation totals are near-deterministic;
+    # the slack absorbs slab-granularity rounding. A bytes_live_total blowup means retired
+    # blocks stopped being reclaimed (epoch stall or allocator leak).
+    ("memory.bytes_allocated_total", 0.20),
+    ("memory.bytes_live_total", 0.20),
 ]
 # (metric, absolute tolerance).
 ABS_TOLERANCES = [
@@ -29,12 +35,22 @@ ABS_TOLERANCES = [
 INFORMATIONAL = ["retries", "load_faults_total"]
 
 
+def get_metric(run, name):
+    """Fetch a possibly-dotted metric name from a run dict (None when absent)."""
+    cur = run
+    for part in name.split("."):
+        if not isinstance(cur, dict):
+            return None
+        cur = cur.get(part)
+    return cur
+
+
 def main() -> int:
     if len(sys.argv) < 2:
         print(__doc__)
         return 2
     new_path = sys.argv[1]
-    base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_PR3.json"
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_PR4.json"
 
     with open(new_path) as f:
         new = json.load(f)
@@ -66,7 +82,7 @@ def main() -> int:
             print(f"NOTE {name}: missing from new report")
             continue
         for metric, tol in REL_TOLERANCES:
-            bv, nv = b.get(metric), n.get(metric)
+            bv, nv = get_metric(b, metric), get_metric(n, metric)
             if bv is None or nv is None:
                 continue
             compared += 1

@@ -406,8 +406,28 @@ common::Value RolexIndex::EncodeValue(dmsim::Client& client, common::Key key,
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
   std::memcpy(buf.data(), &key, 8);
   std::memcpy(buf.data() + 8, &value, 8);
-  dmsim::retry::Write(client, verb_retry_, block, buf.data(), static_cast<uint32_t>(buf.size()));
+  try {
+    dmsim::retry::Write(client, verb_retry_, block, buf.data(),
+                        static_cast<uint32_t>(buf.size()));
+  } catch (const dmsim::VerbError&) {
+    client.Free(block, static_cast<size_t>(options_.indirect_block_bytes));  // never published
+    throw;
+  }
   return block.Pack();
+}
+
+void RolexIndex::FreeIndirect(dmsim::Client& client, common::Value stored) {
+  if (options_.indirect_values && stored != 0) {
+    client.Free(common::GlobalAddress::Unpack(stored),
+                static_cast<size_t>(options_.indirect_block_bytes));
+  }
+}
+
+void RolexIndex::RetireIndirect(dmsim::Client& client, common::Value stored) {
+  if (options_.indirect_values && stored != 0) {
+    client.Retire(common::GlobalAddress::Unpack(stored),
+                  static_cast<size_t>(options_.indirect_block_bytes));
+  }
 }
 
 bool RolexIndex::DecodeValue(dmsim::Client& client, common::Key key, common::Value stored,
@@ -520,21 +540,37 @@ void RolexIndex::Insert(dmsim::Client& client, common::Key key, common::Value va
       }
     }
     if (found_idx >= 0) {
+      // Insert-as-update: the group lock serializes writers, so capture-and-retire the old
+      // out-of-place block without a CAS.
+      const common::Value old_stored = view.entries[static_cast<size_t>(found_idx)].value;
       view.entries[static_cast<size_t>(found_idx)].value = EncodeValue(client, key, value);
       view.evs[static_cast<size_t>(found_idx)] =
           (view.evs[static_cast<size_t>(found_idx)] + 1) & 0xF;
-      WriteEntryAndUnlock(client, cur, found_idx, view, home);
+      try {
+        WriteEntryAndUnlock(client, cur, found_idx, view, home);
+      } catch (const dmsim::VerbError&) {
+        FreeIndirect(client, view.entries[static_cast<size_t>(found_idx)].value);
+        throw;
+      }
+      RetireIndirect(client, old_stored);
       client.EndOp(dmsim::OpType::kInsert);
       return;
     }
     if (options_.hopscotch_leaf) {
       std::vector<int> dirty;
-      if (PlaceHopscotch(&view, key, EncodeValue(client, key, value), &dirty)) {
-        WriteDirtyAndUnlock(client, cur, view, dirty, home);
+      const common::Value stored = EncodeValue(client, key, value);
+      if (PlaceHopscotch(&view, key, stored, &dirty)) {
+        try {
+          WriteDirtyAndUnlock(client, cur, view, dirty, home);
+        } catch (const dmsim::VerbError&) {
+          FreeIndirect(client, stored);  // the batched write-back never landed
+          throw;
+        }
         client.EndOp(dmsim::OpType::kInsert);
         return;
       }
-      free_idx = -1;  // no feasible hop: spill to the overflow chain
+      FreeIndirect(client, stored);  // no feasible hop: the block was never linked
+      free_idx = -1;  // spill to the overflow chain
     }
     if (free_idx >= 0) {
       chime::LeafEntry& e = view.entries[static_cast<size_t>(free_idx)];
@@ -543,7 +579,12 @@ void RolexIndex::Insert(dmsim::Client& client, common::Key key, common::Value va
       e.value = EncodeValue(client, key, value);
       view.evs[static_cast<size_t>(free_idx)] =
           (view.evs[static_cast<size_t>(free_idx)] + 1) & 0xF;
-      WriteEntryAndUnlock(client, cur, free_idx, view, home);
+      try {
+        WriteEntryAndUnlock(client, cur, free_idx, view, home);
+      } catch (const dmsim::VerbError&) {
+        FreeIndirect(client, e.value);  // never published
+        throw;
+      }
       client.EndOp(dmsim::OpType::kInsert);
       return;
     }
@@ -553,9 +594,16 @@ void RolexIndex::Insert(dmsim::Client& client, common::Key key, common::Value va
       std::vector<uint8_t> image;
       BuildEmptyGroupImage(&image);
       const common::GlobalAddress of = client.Alloc(layout_.node_bytes, chime::kLineBytes);
-      dmsim::retry::Write(client, verb_retry_, of, image.data(), static_cast<uint32_t>(image.size()));
       view.overflow = of;
-      WriteHeader(client, cur, view);
+      try {
+        dmsim::retry::Write(client, verb_retry_, of, image.data(),
+                            static_cast<uint32_t>(image.size()));
+        // The header write publishes the overflow group; until it lands, `of` is unreachable.
+        WriteHeader(client, cur, view);
+      } catch (const dmsim::VerbError&) {
+        client.Free(of, layout_.node_bytes);
+        throw;
+      }
       overflow_groups_.fetch_add(1, std::memory_order_relaxed);
       cur = of;
       continue;
@@ -588,9 +636,16 @@ bool RolexIndex::Update(dmsim::Client& client, common::Key key, common::Value va
       for (int i = 0; i < options_.group_span; ++i) {
         chime::LeafEntry& e = view.entries[static_cast<size_t>(i)];
         if (e.used && e.key == key) {
+          const common::Value old_stored = e.value;
           e.value = EncodeValue(client, key, value);
           view.evs[static_cast<size_t>(i)] = (view.evs[static_cast<size_t>(i)] + 1) & 0xF;
-          WriteEntryAndUnlock(client, cur, i, view, home);
+          try {
+            WriteEntryAndUnlock(client, cur, i, view, home);
+          } catch (const dmsim::VerbError&) {
+            FreeIndirect(client, e.value);  // never published
+            throw;
+          }
+          RetireIndirect(client, old_stored);
           found = true;
           break;
         }
@@ -624,11 +679,13 @@ bool RolexIndex::Delete(dmsim::Client& client, common::Key key) {
     for (int i = 0; i < options_.group_span; ++i) {
       chime::LeafEntry& e = view.entries[static_cast<size_t>(i)];
       if (e.used && e.key == key) {
+        const common::Value old_stored = e.value;
         e.used = false;
         e.key = 0;
         e.value = 0;
         view.evs[static_cast<size_t>(i)] = (view.evs[static_cast<size_t>(i)] + 1) & 0xF;
         WriteEntryAndUnlock(client, cur, i, view, home);
+        RetireIndirect(client, old_stored);  // unlinked; readers may still chase it
         found = true;
         break;
       }

@@ -112,6 +112,11 @@ class RolexIndex : public RangeIndex {
   common::Value EncodeValue(dmsim::Client& client, common::Key key, common::Value value);
   bool DecodeValue(dmsim::Client& client, common::Key key, common::Value stored,
                    common::Value* out);
+  // Indirect-block reclamation (no-ops in inline mode or for null pointers). Free is for
+  // blocks that never became reachable; Retire defers the free past pinned epochs for
+  // blocks unlinked by an update/delete that a concurrent reader may still chase.
+  void FreeIndirect(dmsim::Client& client, common::Value stored);
+  void RetireIndirect(dmsim::Client& client, common::Value stored);
 
   dmsim::MemoryPool* pool_;
   RolexOptions options_;

@@ -183,7 +183,13 @@ common::Value ShermanTree::EncodeValue(dmsim::Client& client, common::Key key,
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
   std::memcpy(buf.data(), &key, 8);
   std::memcpy(buf.data() + 8, &value, 8);
-  dmsim::retry::Write(client, verb_retry_, block, buf.data(), static_cast<uint32_t>(buf.size()));
+  try {
+    dmsim::retry::Write(client, verb_retry_, block, buf.data(),
+                        static_cast<uint32_t>(buf.size()));
+  } catch (const dmsim::VerbError&) {
+    client.Free(block, static_cast<size_t>(options_.indirect_block_bytes));  // never published
+    throw;
+  }
   return block.Pack();
 }
 
@@ -433,13 +439,21 @@ void ShermanTree::InsertIntoParent(dmsim::Client& client,
     const common::GlobalAddress right_addr = client.Alloc(IL.node_bytes(), chime::kLineBytes);
     chime::InternalHeader right_header = header;
     right_header.fence_lo = split_pivot;
-    IL.EncodeNode(right_header, right_entries, 0, &image);
-    dmsim::retry::Write(client, verb_retry_, right_addr, image.data(), static_cast<uint32_t>(image.size()));
     chime::InternalHeader left_header = header;
     left_header.fence_hi = split_pivot;
     left_header.sibling = right_addr;
-    IL.EncodeNode(left_header, entries, nv, &image);
-    dmsim::retry::Write(client, verb_retry_, cur, image.data(), static_cast<uint32_t>(image.size()));
+    try {
+      IL.EncodeNode(right_header, right_entries, 0, &image);
+      dmsim::retry::Write(client, verb_retry_, right_addr, image.data(),
+                          static_cast<uint32_t>(image.size()));
+      IL.EncodeNode(left_header, entries, nv, &image);
+      // The left-image write publishes right_addr via the sibling pointer.
+      dmsim::retry::Write(client, verb_retry_, cur, image.data(),
+                          static_cast<uint32_t>(image.size()));
+    } catch (const dmsim::VerbError&) {
+      client.Free(right_addr, IL.node_bytes());  // never published
+      throw;
+    }
     cache_.Invalidate(cur);
 
     uint64_t root_now = cached_root_.load(std::memory_order_acquire);
@@ -453,28 +467,36 @@ void ShermanTree::InsertIntoParent(dmsim::Client& client,
       root_header.level = static_cast<uint8_t>(header.level + 1);
       std::vector<chime::InternalEntry> root_entries{{left_header.fence_lo, cur},
                                                      {split_pivot, right_addr}};
-      IL.EncodeNode(root_header, root_entries, 0, &image);
-      dmsim::retry::Write(client, verb_retry_, new_root, image.data(), static_cast<uint32_t>(image.size()));
-      // A failed CAS can be spurious under fault injection; trust only the pointer itself.
       bool swung = false;
-      while (true) {
-        if (dmsim::retry::Cas(client, verb_retry_, root_ptr_addr_, cur.Pack(),
-                              new_root.Pack()) == cur.Pack()) {
-          swung = true;
-          break;
+      try {
+        IL.EncodeNode(root_header, root_entries, 0, &image);
+        dmsim::retry::Write(client, verb_retry_, new_root, image.data(),
+                            static_cast<uint32_t>(image.size()));
+        // A failed CAS can be spurious under fault injection; trust only the pointer itself.
+        while (true) {
+          if (dmsim::retry::Cas(client, verb_retry_, root_ptr_addr_, cur.Pack(),
+                                new_root.Pack()) == cur.Pack()) {
+            swung = true;
+            break;
+          }
+          uint64_t fresh = 0;
+          dmsim::retry::Read(client, verb_retry_, root_ptr_addr_, &fresh, 8);
+          if (fresh != cur.Pack()) {
+            break;  // genuinely lost the race to another root split
+          }
+          client.CountRetry();
         }
-        uint64_t fresh = 0;
-        dmsim::retry::Read(client, verb_retry_, root_ptr_addr_, &fresh, 8);
-        if (fresh != cur.Pack()) {
-          break;  // genuinely lost the race to another root split
-        }
-        client.CountRetry();
+      } catch (const dmsim::VerbError&) {
+        client.Free(new_root, IL.node_bytes());  // the root pointer never swung to it
+        throw;
       }
       if (swung) {
         cached_root_.store(new_root.Pack(), std::memory_order_release);
         height_.store(root_header.level, std::memory_order_relaxed);
         return;
       }
+      // Lost the root race: new_root never became reachable.
+      client.Free(new_root, IL.node_bytes());
       RefreshRoot(client);
     }
     pivot = split_pivot;
@@ -572,15 +594,37 @@ ShermanTree::Outcome ShermanTree::TryWriteLocked(dmsim::Client& client, const Le
   for (int i = 0; i < options_.span; ++i) {
     chime::LeafEntry& e = view->entries[static_cast<size_t>(i)];
     if (e.used && e.key == key) {
+      // Both update and delete unlink the old out-of-place block (indirect mode); the leaf
+      // lock serializes writers, so capture-and-retire needs no CAS here.
+      const common::Value old_stored = e.value;
+      common::GlobalAddress new_block = common::GlobalAddress::Null();
       if (is_delete) {
         e.used = false;
         e.key = 0;
         e.value = 0;
       } else {
         e.value = EncodeValue(client, key, value);
+        if (options_.indirect_values) {
+          new_block = common::GlobalAddress::Unpack(e.value);
+        }
       }
       view->evs[static_cast<size_t>(i)] = (view->evs[static_cast<size_t>(i)] + 1) & 0xF;
-      WriteEntryAndUnlock(client, ref.addr, i, *view);
+      try {
+        WriteEntryAndUnlock(client, ref.addr, i, *view);
+      } catch (const dmsim::VerbError&) {
+        // The batched write-back is all-or-nothing and failed before any memory effect:
+        // the replacement block was never published.
+        if (!new_block.is_null()) {
+          client.Free(new_block, static_cast<size_t>(options_.indirect_block_bytes));
+        }
+        throw;
+      }
+      if (options_.indirect_values && old_stored != 0) {
+        // Unlinked, but a concurrent optimistic reader may still chase the old pointer:
+        // defer the free past every currently pinned epoch.
+        client.Retire(common::GlobalAddress::Unpack(old_stored),
+                      static_cast<size_t>(options_.indirect_block_bytes));
+      }
       return Outcome::kDone;
     }
     if (!e.used && free_slot < 0) {
@@ -598,7 +642,15 @@ ShermanTree::Outcome ShermanTree::TryWriteLocked(dmsim::Client& client, const Le
     e.value = EncodeValue(client, key, value);
     view->evs[static_cast<size_t>(free_slot)] =
         (view->evs[static_cast<size_t>(free_slot)] + 1) & 0xF;
-    WriteEntryAndUnlock(client, ref.addr, free_slot, *view);
+    try {
+      WriteEntryAndUnlock(client, ref.addr, free_slot, *view);
+    } catch (const dmsim::VerbError&) {
+      if (options_.indirect_values && e.value != 0) {
+        client.Free(common::GlobalAddress::Unpack(e.value),
+                    static_cast<size_t>(options_.indirect_block_bytes));  // never published
+      }
+      throw;
+    }
     return Outcome::kDone;
   }
   return Outcome::kSplit;  // lock still held; caller splits
@@ -628,9 +680,6 @@ void ShermanTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref, 
   right_header.fence_hi = view->header.fence_hi;
   right_header.sibling = view->header.sibling;
   std::vector<uint8_t> image;
-  BuildLeafImage(right_header, right_slots, 0, &image);
-  dmsim::retry::Write(client, verb_retry_, new_addr, image.data(), static_cast<uint32_t>(image.size()));
-
   std::vector<chime::LeafEntry> left_slots(static_cast<size_t>(options_.span));
   for (size_t i = 0; i < mid; ++i) {
     left_slots[i] = {true, 0, items[i].first, items[i].second};
@@ -638,8 +687,19 @@ void ShermanTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref, 
   LeafHeader left_header = view->header;
   left_header.fence_hi = split_pivot;
   left_header.sibling = new_addr;
-  BuildLeafImage(left_header, left_slots, static_cast<uint8_t>((view->nv + 1) & 0xF), &image);
-  dmsim::retry::Write(client, verb_retry_, ref.addr, image.data(), static_cast<uint32_t>(image.size()));
+  try {
+    BuildLeafImage(right_header, right_slots, 0, &image);
+    dmsim::retry::Write(client, verb_retry_, new_addr, image.data(),
+                        static_cast<uint32_t>(image.size()));
+    BuildLeafImage(left_header, left_slots, static_cast<uint8_t>((view->nv + 1) & 0xF), &image);
+    // This left-image write publishes the right node via the sibling pointer (and drops the
+    // lock); until it lands the right node is unreachable.
+    dmsim::retry::Write(client, verb_retry_, ref.addr, image.data(),
+                        static_cast<uint32_t>(image.size()));
+  } catch (const dmsim::VerbError&) {
+    client.Free(new_addr, leaf_.node_bytes);  // never published
+    throw;
+  }
 
   InsertIntoParent(client, ref.path, 1, split_pivot, new_addr);
 }

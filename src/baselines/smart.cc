@@ -160,16 +160,40 @@ common::GlobalAddress SmartTree::WriteNewNode(dmsim::Client& client, const NodeI
   std::vector<uint8_t> image;
   EncodeNode(node, &image);
   const common::GlobalAddress addr = client.Alloc(image.size(), 64);
-  dmsim::retry::Write(client, verb_retry_, addr, image.data(), static_cast<uint32_t>(image.size()));
+  try {
+    dmsim::retry::Write(client, verb_retry_, addr, image.data(),
+                        static_cast<uint32_t>(image.size()));
+  } catch (const dmsim::VerbError&) {
+    client.Free(addr, image.size());  // never published
+    throw;
+  }
   return addr;
 }
 
 common::GlobalAddress SmartTree::WriteLeaf(dmsim::Client& client, common::Key key,
-                                           common::Value value) {
+                                           common::Value value, common::Value* stored_out) {
+  const common::Value stored = EncodeValue(client, key, value);
   const common::GlobalAddress addr = client.Alloc(16, 16);
-  uint64_t kv[2] = {key, EncodeValue(client, key, value)};
-  dmsim::retry::Write(client, verb_retry_, addr, kv, 16);
+  uint64_t kv[2] = {key, stored};
+  try {
+    dmsim::retry::Write(client, verb_retry_, addr, kv, 16);
+  } catch (const dmsim::VerbError&) {
+    FreeNewLeaf(client, addr, stored);  // never published
+    throw;
+  }
+  if (stored_out != nullptr) {
+    *stored_out = stored;
+  }
   return addr;
+}
+
+void SmartTree::FreeNewLeaf(dmsim::Client& client, common::GlobalAddress leaf,
+                            common::Value stored) {
+  if (options_.indirect_values && stored != 0) {
+    client.Free(common::GlobalAddress::Unpack(stored),
+                static_cast<size_t>(options_.indirect_block_bytes));
+  }
+  client.Free(leaf, 16);
 }
 
 bool SmartTree::ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, common::Key* key,
@@ -220,8 +244,36 @@ common::Value SmartTree::EncodeValue(dmsim::Client& client, common::Key key,
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
   std::memcpy(buf.data(), &key, 8);
   std::memcpy(buf.data() + 8, &value, 8);
-  dmsim::retry::Write(client, verb_retry_, block, buf.data(), static_cast<uint32_t>(buf.size()));
+  try {
+    dmsim::retry::Write(client, verb_retry_, block, buf.data(),
+                        static_cast<uint32_t>(buf.size()));
+  } catch (const dmsim::VerbError&) {
+    client.Free(block, static_cast<size_t>(options_.indirect_block_bytes));
+    throw;
+  }
   return block.Pack();
+}
+
+bool SmartTree::UpdateLeafValue(dmsim::Client& client, common::GlobalAddress leaf,
+                                common::Value old_stored, common::Key key,
+                                common::Value value) {
+  const common::Value stored = EncodeValue(client, key, value);
+  if (!options_.indirect_values) {
+    dmsim::retry::Write(client, verb_retry_, leaf + 8, &stored, 8);
+    return true;
+  }
+  // Swing the indirect pointer with a CAS so that, under racing updates/deletes, exactly
+  // one writer unlinks each old block and retires it exactly once; a plain write would let
+  // two racers both think they unlinked the same block (double retire -> double free).
+  const size_t block_bytes = static_cast<size_t>(options_.indirect_block_bytes);
+  if (dmsim::retry::Cas(client, verb_retry_, leaf + 8, old_stored, stored) != old_stored) {
+    client.Free(common::GlobalAddress::Unpack(stored), block_bytes);  // never published
+    return false;  // raced with another update/delete; caller re-reads and retries
+  }
+  if (old_stored != 0) {
+    client.Retire(common::GlobalAddress::Unpack(old_stored), block_bytes);
+  }
+  return true;
 }
 
 bool SmartTree::DecodeValue(dmsim::Client& client, common::Key key, common::Value stored,
@@ -229,6 +281,9 @@ bool SmartTree::DecodeValue(dmsim::Client& client, common::Key key, common::Valu
   if (!options_.indirect_values) {
     *out = stored;
     return true;
+  }
+  if (stored == 0) {
+    return false;  // a racing delete unlinked the block before killing the key word
   }
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes));
   dmsim::retry::Read(client, verb_retry_, common::GlobalAddress::Unpack(stored), buf.data(),
@@ -378,7 +433,8 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
       // The trimmed node keeps its type; an untyped (default Node16) pointer here would make
       // a trimmed Node256 undecodable and strand its whole subtree.
       z.slots[0] = Slot::Make(false, node->prefix[mismatch], trimmed_addr, fresh->type);
-      const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+      common::Value leaf_stored = 0;
+      const common::GlobalAddress leaf = WriteLeaf(client, key, value, &leaf_stored);
       z.slots[1] = Slot::Make(true, Digit(key, node->depth + mismatch), leaf);
       const common::GlobalAddress z_addr = WriteNewNode(client, z);
 
@@ -396,13 +452,24 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
           dmsim::retry::Cas(client, verb_retry_, parent_slot_addr, parent_word, new_word) ==
               parent_word;
       if (swapped) {
-        // Retire the replaced node.
+        // Stamp the replaced node invalid so stale-cache readers re-fetch and bail.
         uint8_t invalid[2] = {static_cast<uint8_t>(fresh->type), 0};
         dmsim::retry::Write(client, verb_retry_, addr, invalid, 2);
         cache_.Invalidate(addr);
       }
       UnlockNode(client, parent_addr, parent_type);
       UnlockNode(client, addr, node->type);
+      if (swapped) {
+        // The old node is unlinked but concurrent traversals may still be reading it:
+        // epoch-defer the free. (Our own unlock above is safe — this op's pin blocks
+        // reclamation until EndOp.)
+        client.Retire(addr, NodeBytes(fresh->type));
+      } else {
+        // Lost the parent CAS: z, the trimmed copy, and the new leaf were never reachable.
+        client.Free(z_addr, NodeBytes(NodeType::kNode16));
+        client.Free(trimmed_addr, NodeBytes(fresh->type));
+        FreeNewLeaf(client, leaf, leaf_stored);
+      }
       return swapped;
     }
 
@@ -413,27 +480,44 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
       const common::GlobalAddress slot_addr = addr + SlotOffset(digit);
       const uint64_t w = node->slots[digit];
       if (!Slot::Used(w)) {
-        const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+        common::Value leaf_stored = 0;
+        const common::GlobalAddress leaf = WriteLeaf(client, key, value, &leaf_stored);
         const uint64_t desired = Slot::Make(true, digit, leaf);
         // On failure, restart the descent rather than decoding the observed value: a
         // spuriously failed CAS reports a fabricated word (compared bits flipped), so
         // routing through it would chase a garbage address.
-        return CasSlotLive(client, addr, node->type, slot_addr, w, desired);
+        if (!CasSlotLive(client, addr, node->type, slot_addr, w, desired)) {
+          FreeNewLeaf(client, leaf, leaf_stored);
+          return false;
+        }
+        return true;
       }
       if (Slot::IsLeaf(w)) {
         common::Key lk = 0;
         common::Value lv = 0;
         ReadLeaf(client, Slot::Addr(w), &lk, &lv);
         if (lk == key) {
-          // In-place value update (8-byte atomic write; indirect mode swings the pointer).
-          const common::Value stored = EncodeValue(client, key, value);
-          dmsim::retry::Write(client, verb_retry_, Slot::Addr(w) + 8, &stored, 8);
-          return true;
+          // In-place value update (8-byte atomic write; indirect mode CASes the pointer
+          // swing and retires the unlinked block).
+          return UpdateLeafValue(client, Slot::Addr(w), lv, key, value);
         }
         if (lk == 0) {
           // Dead leaf (deleted key): replace it with a fresh leaf in place.
-          const common::GlobalAddress leaf = WriteLeaf(client, key, value);
-          return CasSlotLive(client, addr, node->type, slot_addr, w, Slot::Make(true, digit, leaf));
+          common::Value leaf_stored = 0;
+          const common::GlobalAddress leaf = WriteLeaf(client, key, value, &leaf_stored);
+          if (!CasSlotLive(client, addr, node->type, slot_addr, w,
+                           Slot::Make(true, digit, leaf))) {
+            FreeNewLeaf(client, leaf, leaf_stored);
+            return false;
+          }
+          // The CAS unlinked the dead 16-byte leaf — and any block a racing update linked
+          // into it after the delete — but stale readers may still fetch either: retire.
+          if (options_.indirect_values && lv != 0) {
+            client.Retire(common::GlobalAddress::Unpack(lv),
+                          static_cast<size_t>(options_.indirect_block_bytes));
+          }
+          client.Retire(Slot::Addr(w), 16);
+          return true;
         }
         // Expand: a new Node16 holding both leaves below their common prefix.
         int m = 0;
@@ -449,11 +533,19 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         }
         z.slots.assign(16, 0);
         z.slots[0] = Slot::Make(true, Digit(lk, d + 1 + m), Slot::Addr(w));
-        const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+        common::Value leaf_stored = 0;
+        const common::GlobalAddress leaf = WriteLeaf(client, key, value, &leaf_stored);
         z.slots[1] = Slot::Make(true, Digit(key, d + 1 + m), leaf);
         const common::GlobalAddress z_addr = WriteNewNode(client, z);
-        return CasSlotLive(client, addr, node->type, slot_addr, w,
-                           Slot::Make(false, digit, z_addr, NodeType::kNode16));
+        if (!CasSlotLive(client, addr, node->type, slot_addr, w,
+                         Slot::Make(false, digit, z_addr, NodeType::kNode16))) {
+          // Lost the race: z and the new leaf never became reachable. The existing leaf
+          // (z.slots[0]) is still linked from the original slot — leave it alone.
+          client.Free(z_addr, NodeBytes(NodeType::kNode16));
+          FreeNewLeaf(client, leaf, leaf_stored);
+          return false;
+        }
+        return true;
       }
       parent_slot_addr = slot_addr;
       parent_word = w;
@@ -481,13 +573,22 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         common::Value lv = 0;
         ReadLeaf(client, Slot::Addr(w), &lk, &lv);
         if (lk == key) {
-          const common::Value stored = EncodeValue(client, key, value);
-          dmsim::retry::Write(client, verb_retry_, Slot::Addr(w) + 8, &stored, 8);
-          return true;
+          return UpdateLeafValue(client, Slot::Addr(w), lv, key, value);
         }
         if (lk == 0) {
-          const common::GlobalAddress leaf = WriteLeaf(client, key, value);
-          return CasSlotLive(client, addr, node->type, slot_addr, w, Slot::Make(true, digit, leaf));
+          common::Value leaf_stored = 0;
+          const common::GlobalAddress leaf = WriteLeaf(client, key, value, &leaf_stored);
+          if (!CasSlotLive(client, addr, node->type, slot_addr, w,
+                           Slot::Make(true, digit, leaf))) {
+            FreeNewLeaf(client, leaf, leaf_stored);
+            return false;
+          }
+          if (options_.indirect_values && lv != 0) {
+            client.Retire(common::GlobalAddress::Unpack(lv),
+                          static_cast<size_t>(options_.indirect_block_bytes));
+          }
+          client.Retire(Slot::Addr(w), 16);
+          return true;
         }
         int m = 0;
         while (d + 1 + m < 8 && Digit(key, d + 1 + m) == Digit(lk, d + 1 + m)) {
@@ -502,11 +603,19 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         }
         z.slots.assign(16, 0);
         z.slots[0] = Slot::Make(true, Digit(lk, d + 1 + m), Slot::Addr(w));
-        const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+        common::Value leaf_stored = 0;
+        const common::GlobalAddress leaf = WriteLeaf(client, key, value, &leaf_stored);
         z.slots[1] = Slot::Make(true, Digit(key, d + 1 + m), leaf);
         const common::GlobalAddress z_addr = WriteNewNode(client, z);
-        return CasSlotLive(client, addr, node->type, slot_addr, w,
-                           Slot::Make(false, digit, z_addr, NodeType::kNode16));
+        if (!CasSlotLive(client, addr, node->type, slot_addr, w,
+                         Slot::Make(false, digit, z_addr, NodeType::kNode16))) {
+          // Lost the race: z and the new leaf never became reachable. The existing leaf
+          // (z.slots[0]) is still linked from the original slot — leave it alone.
+          client.Free(z_addr, NodeBytes(NodeType::kNode16));
+          FreeNewLeaf(client, leaf, leaf_stored);
+          return false;
+        }
+        return true;
       }
       parent_slot_addr = slot_addr;
       parent_word = w;
@@ -544,9 +653,16 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
       return false;  // retry; the descent will now follow the new slot
     }
     if (free_idx >= 0) {
-      const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+      common::Value leaf_stored = 0;
+      const common::GlobalAddress leaf = WriteLeaf(client, key, value, &leaf_stored);
       const uint64_t word = Slot::Make(true, digit, leaf);
-      dmsim::retry::Write(client, verb_retry_, addr + SlotOffset(free_idx), &word, 8);
+      try {
+        dmsim::retry::Write(client, verb_retry_, addr + SlotOffset(free_idx), &word, 8);
+      } catch (const dmsim::VerbError&) {
+        FreeNewLeaf(client, leaf, leaf_stored);  // the slot write never landed
+        UnlockNode(client, addr, NodeType::kNode16);
+        throw;
+      }
       UnlockNode(client, addr, NodeType::kNode16);
       return true;
     }
@@ -563,7 +679,8 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
         big.slots[Slot::Partial(s)] = s;
       }
     }
-    const common::GlobalAddress leaf = WriteLeaf(client, key, value);
+    common::Value leaf_stored = 0;
+    const common::GlobalAddress leaf = WriteLeaf(client, key, value, &leaf_stored);
     big.slots[digit] = Slot::Make(true, digit, leaf);
     const common::GlobalAddress big_addr = WriteNewNode(client, big);
     // Same parent-liveness protocol as the path split above: hold the parent's lock across
@@ -583,6 +700,12 @@ bool SmartTree::InsertAttempt(dmsim::Client& client, common::Key key, common::Va
     }
     UnlockNode(client, parent_addr, parent_type);
     UnlockNode(client, addr, NodeType::kNode16);
+    if (swapped) {
+      client.Retire(addr, NodeBytes(NodeType::kNode16));  // unlinked, readers may hold it
+    } else {
+      client.Free(big_addr, NodeBytes(NodeType::kNode256));
+      FreeNewLeaf(client, leaf, leaf_stored);
+    }
     return swapped;
   }
   return false;
@@ -614,9 +737,23 @@ bool SmartTree::Update(dmsim::Client& client, common::Key key, common::Value val
     r = FindLeaf(client, key, false, &leaf, &dummy);
   }
   if (r == FindResult::kFound) {
-    const common::Value stored = EncodeValue(client, key, value);
-    dmsim::retry::Write(client, verb_retry_, leaf + 8, &stored, 8);
-    found = true;
+    if (!options_.indirect_values) {
+      const common::Value stored = EncodeValue(client, key, value);
+      dmsim::retry::Write(client, verb_retry_, leaf + 8, &stored, 8);
+      found = true;
+    } else {
+      // FindLeaf returned the decoded value; re-read the raw pointer word so the swing can
+      // CAS against it (see UpdateLeafValue) and retire exactly one block per transition.
+      for (int i = 0; i < 64 && !found; ++i) {
+        common::Key lk = 0;
+        common::Value raw = 0;
+        ReadLeaf(client, leaf, &lk, &raw);
+        if (lk != key) {
+          break;  // concurrently deleted
+        }
+        found = UpdateLeafValue(client, leaf, raw, key, value);
+      }
+    }
   }
   client.EndOp(dmsim::OpType::kUpdate);
   return found;
@@ -632,6 +769,24 @@ bool SmartTree::Delete(dmsim::Client& client, common::Key key) {
     r = FindLeaf(client, key, false, &leaf, &dummy);
   }
   if (r == FindResult::kFound) {
+    if (options_.indirect_values) {
+      // Unlink the out-of-place block first with a CAS (so exactly one racing writer
+      // retires it), then kill the key word. A reader that observes {key, 0} treats the
+      // key as absent (DecodeValue rejects a null pointer).
+      for (int i = 0; i < 64; ++i) {
+        common::Key lk = 0;
+        common::Value raw = 0;
+        ReadLeaf(client, leaf, &lk, &raw);
+        if (lk != key || raw == 0) {
+          break;  // already replaced/unlinked by a racer
+        }
+        if (dmsim::retry::Cas(client, verb_retry_, leaf + 8, raw, 0) == raw) {
+          client.Retire(common::GlobalAddress::Unpack(raw),
+                        static_cast<size_t>(options_.indirect_block_bytes));
+          break;
+        }
+      }
+    }
     // Kill the leaf (its key word becomes 0); the parent slot keeps pointing at the dead
     // leaf, which readers treat as absent, and inserts replace.
     const uint64_t zero = 0;

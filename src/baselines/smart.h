@@ -96,8 +96,18 @@ class SmartTree : public RangeIndex {
   std::shared_ptr<const NodeImage> FetchNode(dmsim::Client& client, common::GlobalAddress addr,
                                              NodeType type);
   common::GlobalAddress WriteNewNode(dmsim::Client& client, const NodeImage& node);
-  common::GlobalAddress WriteLeaf(dmsim::Client& client, common::Key key,
-                                  common::Value value);
+  // Writes a fresh {key, stored} leaf. `stored_out` (optional) receives the stored value
+  // word so a caller that loses its publish CAS can free the indirect block it references.
+  common::GlobalAddress WriteLeaf(dmsim::Client& client, common::Key key, common::Value value,
+                                  common::Value* stored_out = nullptr);
+  // Frees a leaf that was never published, plus the indirect block its stored word points
+  // at (if any). Plain frees — nothing ever linked to either allocation.
+  void FreeNewLeaf(dmsim::Client& client, common::GlobalAddress leaf, common::Value stored);
+  // Replaces a live leaf's value word. In indirect mode the pointer swing is a CAS against
+  // `old_stored` so exactly one racing writer unlinks (and retires) the old block; returns
+  // false when the CAS loses and the caller must re-read and retry.
+  bool UpdateLeafValue(dmsim::Client& client, common::GlobalAddress leaf,
+                       common::Value old_stored, common::Key key, common::Value value);
   bool ReadLeaf(dmsim::Client& client, common::GlobalAddress addr, common::Key* key,
                 common::Value* value);
 

@@ -179,6 +179,12 @@ ChimeTree::MutateResult ChimeTree::TryMutateLocked(dmsim::Client& client, const 
 
   if (found_idx >= 0) {
     LeafEntry& e = window.At(found_idx, span);
+    // In indirect/var-len mode the entry's value is a packed pointer to an out-of-place
+    // block; both update and delete unlink it, so it must be retired once the write-back
+    // publishes.
+    const bool out_of_place = var != nullptr || options_.indirect_values;
+    const uint64_t old_value = e.value;
+    common::GlobalAddress new_block = common::GlobalAddress::Null();
     std::vector<int> dirty;
     uint64_t new_vacancy = vacancy;
     uint32_t new_argmax = argmax;
@@ -200,10 +206,14 @@ ChimeTree::MutateResult ChimeTree::TryMutateLocked(dmsim::Client& client, const 
         new_argmax = LeafLock::kArgmaxUnknown;  // repaired lazily (paper §4.2.3)
       }
     } else {
-      e.value = var != nullptr ? var->encoded_value
-                : options_.indirect_values
-                    ? WriteIndirectBlock(client, key, value).Pack()
-                    : value;
+      if (var != nullptr) {
+        e.value = var->encoded_value;
+      } else if (options_.indirect_values) {
+        new_block = WriteIndirectBlock(client, key, value);
+        e.value = new_block.Pack();
+      } else {
+        e.value = value;
+      }
       window.EvAt(found_idx, span) = (window.EvAt(found_idx, span) + 1) & 0xF;
       dirty.push_back(found_idx);
       if (options_.speculative_read) {
@@ -211,8 +221,25 @@ ChimeTree::MutateResult ChimeTree::TryMutateLocked(dmsim::Client& client, const 
                           common::Fingerprint16(key));
       }
     }
-    WriteBackAndUnlock(client, ref.addr, window, dirty,
-                       LeafLock::Pack(false, new_argmax, new_vacancy));
+    try {
+      WriteBackAndUnlock(client, ref.addr, window, dirty,
+                         LeafLock::Pack(false, new_argmax, new_vacancy));
+    } catch (const dmsim::VerbError&) {
+      // The batched write-back is all-or-nothing and failed before any memory effect: the
+      // leaf still points at the old block, and the replacement block was never published —
+      // plain free, no epoch wait. (A var-mode pre-written block is the caller's to free.)
+      if (!new_block.is_null()) {
+        client.Free(new_block, static_cast<size_t>(options_.indirect_block_bytes));
+      }
+      throw;
+    }
+    if (out_of_place && old_value != 0) {
+      // The write-back unlinked the old out-of-place block, but a concurrent optimistic
+      // reader may still be chasing the pointer it read a moment ago: defer the free until
+      // every currently pinned epoch retires.
+      client.Retire(common::GlobalAddress::Unpack(old_value),
+                    static_cast<size_t>(options_.indirect_block_bytes));
+    }
     return MutateResult::kDone;
   }
 

@@ -349,6 +349,11 @@ ChimeTree::LeafResult ChimeTree::TryInsertLocked(dmsim::Client& client, const Le
     const int idx = (home + j) % span;
     LeafEntry& e = window.At(idx, span);
     if (e.used && e.key == key) {
+      // Replacing an out-of-place value unlinks the old block: retire it once the
+      // write-back publishes (a concurrent reader may still chase the old pointer).
+      const bool out_of_place = var != nullptr || options_.indirect_values;
+      const uint64_t old_value = e.value;
+      common::GlobalAddress new_block = common::GlobalAddress::Null();
       if (var != nullptr) {
         std::string bk;
         std::string bv;
@@ -357,14 +362,28 @@ ChimeTree::LeafResult ChimeTree::TryInsertLocked(dmsim::Client& client, const Le
           continue;  // fingerprint collision: a different key owns this entry
         }
         e.value = var->encoded_value;
+      } else if (options_.indirect_values) {
+        new_block = WriteIndirectBlock(client, key, value);
+        e.value = new_block.Pack();
       } else {
-        e.value = options_.indirect_values
-                      ? WriteIndirectBlock(client, key, value).Pack()
-                      : value;
+        e.value = value;
       }
       window.EvAt(idx, span) = (window.EvAt(idx, span) + 1) & 0xF;
-      WriteBackAndUnlock(client, ref.addr, window, {idx},
-                         LeafLock::Pack(false, argmax, vacancy));
+      try {
+        WriteBackAndUnlock(client, ref.addr, window, {idx},
+                           LeafLock::Pack(false, argmax, vacancy));
+      } catch (const dmsim::VerbError&) {
+        // All-or-nothing write-back failed: the new block was never published (var-mode
+        // pre-written blocks are the caller's to free).
+        if (!new_block.is_null()) {
+          client.Free(new_block, static_cast<size_t>(options_.indirect_block_bytes));
+        }
+        throw;
+      }
+      if (out_of_place && old_value != 0) {
+        client.Retire(common::GlobalAddress::Unpack(old_value),
+                      static_cast<size_t>(options_.indirect_block_bytes));
+      }
       if (options_.speculative_read) {
         hotspot_.OnAccess(ref.addr, static_cast<uint16_t>(idx), fp);
       }
@@ -481,9 +500,15 @@ ChimeTree::LeafResult ChimeTree::TryInsertLocked(dmsim::Client& client, const Le
   LeafEntry& slot = window.At(empty, span);
   slot.used = true;
   slot.key = key;
-  slot.value = var != nullptr ? var->encoded_value
-               : options_.indirect_values ? WriteIndirectBlock(client, key, value).Pack()
-                                          : value;
+  common::GlobalAddress new_block = common::GlobalAddress::Null();
+  if (var != nullptr) {
+    slot.value = var->encoded_value;
+  } else if (options_.indirect_values) {
+    new_block = WriteIndirectBlock(client, key, value);
+    slot.value = new_block.Pack();
+  } else {
+    slot.value = value;
+  }
   LeafEntry& home_e = window.At(home, span);
   home_e.hop_bitmap =
       static_cast<uint16_t>(common::SetBit(home_e.hop_bitmap, dist(home, empty)));
@@ -517,8 +542,16 @@ ChimeTree::LeafResult ChimeTree::TryInsertLocked(dmsim::Client& client, const Le
   }
 
   const uint64_t new_vacancy = ComputeVacancy(window, vacancy);
-  WriteBackAndUnlock(client, ref.addr, window, dirty,
-                     LeafLock::Pack(false, new_argmax, new_vacancy));
+  try {
+    WriteBackAndUnlock(client, ref.addr, window, dirty,
+                       LeafLock::Pack(false, new_argmax, new_vacancy));
+  } catch (const dmsim::VerbError&) {
+    // Failed before any memory effect, so the fresh indirect block was never published.
+    if (!new_block.is_null()) {
+      client.Free(new_block, static_cast<size_t>(options_.indirect_block_bytes));
+    }
+    throw;
+  }
   if (options_.speculative_read) {
     hotspot_.OnAccess(ref.addr, static_cast<uint16_t>(empty), fp);
   }
@@ -779,9 +812,11 @@ void ChimeTree::SplitLeafAndUnlock(dmsim::Client& client, const LeafRef& ref,
   } catch (const dmsim::VerbError&) {
     // Retry budget exhausted before the left image landed: the split did not take effect
     // (injected timeouts abort the verb before any memory effect, so a failed left-image
-    // write leaves the whole pre-split node in place; the orphaned right node just leaks).
+    // write leaves the whole pre-split node in place). The right node was never published —
+    // only the left image carries the sibling pointer — so it can be freed outright.
     // Restore the old lock word with the lock bit cleared and surface the failure.
     AbandonLeafLock(client, ref.addr, lock_word);
+    client.Free(new_addr, L.node_bytes());
     throw;
   }
   const common::Key split_pivot = items[m].first;
@@ -873,7 +908,12 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
     // On a retry-budget failure anywhere below, abandon the internal lock before
     // propagating. When the failure happens after the node image (whose lock word is zero)
     // was written, the lock is already free and rewriting a zero word is idempotent.
+    // Allocations that are not yet reachable from the tree are tracked so the unwind (and
+    // the lost-root-race path) can free them; each is cleared the moment a remote write
+    // publishes it.
     const common::GlobalAddress locked = cur;
+    common::GlobalAddress pending_right = common::GlobalAddress::Null();
+    common::GlobalAddress pending_root = common::GlobalAddress::Null();
     try {
     // Fresh read under the lock (single writer; validation must pass).
     bool ok = false;
@@ -945,6 +985,7 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
     entries.resize(mid);
 
     const common::GlobalAddress right_addr = client.Alloc(IL.node_bytes(), kLineBytes);
+    pending_right = right_addr;
     InternalHeader right_header = header;
     right_header.fence_lo = split_pivot;
     right_header.sibling = header.sibling;
@@ -957,13 +998,16 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
     const uint8_t nv = static_cast<uint8_t>(
         (VersionNv(CellCodec::PeekVersion(buf.data(), IL.header_cell())) + 1) & 0xF);
     IL.EncodeNode(left_header, entries, nv, &image);
+    // The left image carries the sibling pointer: this write publishes right_addr.
     VWrite(client, cur, image.data(), static_cast<uint32_t>(image.size()));
+    pending_right = common::GlobalAddress::Null();
     cache_.Invalidate(cur);
 
     const uint64_t root_snapshot = cached_root_.load(std::memory_order_acquire);
     if (root_snapshot == cur.Pack()) {
       // Root split (paper Step 3): allocate a new root and swing the global root pointer.
       const common::GlobalAddress new_root = client.Alloc(IL.node_bytes(), kLineBytes);
+      pending_root = new_root;
       InternalHeader root_header;
       root_header.level = static_cast<uint8_t>(header.level + 1);
       root_header.valid = true;
@@ -996,8 +1040,12 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
         height_.store(root_header.level, std::memory_order_relaxed);
         return;
       }
-      // Lost the race: someone split the root before us; insert into the new upper level.
-      // (ReadRootPtr above already refreshed the cached root.)
+      // Lost the race: someone split the root before us. Our candidate root was never
+      // published (the pointer CAS is the only way anyone learns its address), so free it
+      // outright and insert into the new upper level. (ReadRootPtr above already refreshed
+      // the cached root.)
+      client.Free(new_root, IL.node_bytes());
+      pending_root = common::GlobalAddress::Null();
     }
     pivot = split_pivot;
     new_child = right_addr;
@@ -1006,6 +1054,14 @@ void ChimeTree::InsertIntoParent(dmsim::Client& client,
                                                    : common::GlobalAddress::Null();
     } catch (const dmsim::VerbError&) {
       AbandonInternalLock(client, locked);
+      // A timeout aborts before any memory effect, so whatever was still pending at the
+      // failure point never became reachable.
+      if (!pending_root.is_null()) {
+        client.Free(pending_root, IL.node_bytes());
+      }
+      if (!pending_right.is_null()) {
+        client.Free(pending_right, IL.node_bytes());
+      }
       throw;
     }
   }

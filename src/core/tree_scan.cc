@@ -413,7 +413,13 @@ common::GlobalAddress ChimeTree::WriteIndirectBlock(dmsim::Client& client, commo
   std::vector<uint8_t> buf(static_cast<size_t>(options_.indirect_block_bytes), 0);
   std::memcpy(buf.data(), &key, 8);
   std::memcpy(buf.data() + 8, &value, 8);
-  VWrite(client, block, buf.data(), static_cast<uint32_t>(buf.size()));
+  try {
+    VWrite(client, block, buf.data(), static_cast<uint32_t>(buf.size()));
+  } catch (const dmsim::VerbError&) {
+    // Never published (no leaf entry points at it yet): plain free, no epoch wait.
+    client.Free(block, static_cast<size_t>(options_.indirect_block_bytes));
+    throw;
+  }
   return block;
 }
 

@@ -38,7 +38,13 @@ common::GlobalAddress ChimeTree::WriteVarBlock(dmsim::Client& client, std::strin
   std::memcpy(buf.data() + 4 + key.size(), value.data(), value.size());
   const common::GlobalAddress block =
       client.Alloc(static_cast<size_t>(options_.indirect_block_bytes), 8);
-  VWrite(client, block, buf.data(), static_cast<uint32_t>(buf.size()));
+  try {
+    VWrite(client, block, buf.data(), static_cast<uint32_t>(buf.size()));
+  } catch (const dmsim::VerbError&) {
+    // Never published: plain free, no epoch wait.
+    client.Free(block, static_cast<size_t>(options_.indirect_block_bytes));
+    throw;
+  }
   return block;
 }
 
@@ -127,7 +133,16 @@ void ChimeTree::InsertVar(dmsim::Client& client, std::string_view key,
   VarContext var;
   var.full_key = key;
   var.encoded_value = block.Pack();
-  InsertImpl(client, VarFingerprint(key), var.encoded_value, &var);
+  try {
+    InsertImpl(client, VarFingerprint(key), var.encoded_value, &var);
+  } catch (const dmsim::VerbError&) {
+    // Every VerbError exit from InsertImpl leaves the entry unpublished (locked write-backs
+    // are all-or-nothing and abandon restores pre-op state), so the pre-written block can be
+    // freed outright. ClientCrashed deliberately not caught: a mid-write-back crash may have
+    // published the entry, so the block must stay for recovery to find.
+    client.Free(block, static_cast<size_t>(options_.indirect_block_bytes));
+    throw;
+  }
 }
 
 bool ChimeTree::UpdateVar(dmsim::Client& client, std::string_view key,
@@ -197,9 +212,15 @@ bool ChimeTree::UpdateVar(dmsim::Client& client, std::string_view key,
   }
   } catch (const dmsim::VerbError&) {
     client.AbortOp();
+    // The update never published (see InsertVar): reclaim the pre-written block.
+    client.Free(block, static_cast<size_t>(options_.indirect_block_bytes));
     throw;
   }
   client.EndOp(dmsim::OpType::kUpdate);
+  if (!found) {
+    // Key absent: the pre-written replacement block was never linked anywhere.
+    client.Free(block, static_cast<size_t>(options_.indirect_block_bytes));
+  }
   return found;
 }
 

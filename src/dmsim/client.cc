@@ -3,14 +3,29 @@
 #include <atomic>
 #include <cassert>
 #include <cstring>
+#include <string>
 
 #include "src/dmsim/lease.h"
+#include "src/obs/metrics.h"
 
 namespace dmsim {
 
 Client::Client(MemoryPool* pool, int client_id) : pool_(pool), client_id_(client_id) {
   if (pool_->config().fault.any_enabled()) {
     injector_ = std::make_unique<FaultInjector>(pool_->config().fault, client_id);
+  }
+  mm_alloc_ = pool_->allocator();
+  mm_epoch_ = pool_->epoch();
+  epoch_slot_ = static_cast<uint32_t>(Lease::OwnerToken(client_id_));
+  assert(epoch_slot_ < mm::EpochManager::kMaxSlots);
+}
+
+Client::~Client() {
+  if (mm_epoch_ != nullptr && pin_depth_ > 0) {
+    mm_epoch_->Unpin(epoch_slot_);
+  }
+  if (mm_alloc_ != nullptr) {
+    mm_alloc_->Flush(&mm_cache_);
   }
 }
 
@@ -265,25 +280,52 @@ void Client::WriteBatch(const std::vector<BatchEntry>& entries) {
   TraceVerb("WRITE_BATCH", t0);
 }
 
+namespace {
+// Shared exhaustion diagnostic for the legacy bump path (the managed path throws from
+// mm::Allocator with live-byte context this layer does not have).
+[[noreturn]] void ThrowExhaustedLegacy(size_t bytes, int num_nodes) {
+  obs::MetricRegistry::Global().GetCounter("dmsim.alloc.exhausted")->Inc();
+  throw mm::OutOfMemory(
+      "remote memory exhausted: request for " + std::to_string(bytes) + " bytes; every one of " +
+      std::to_string(num_nodes) +
+      " memory node(s) is full and the legacy bump allocator never frees. Raise "
+      "region_bytes_per_mn, add memory nodes, or enable mm (SimConfig::mm.enabled).");
+}
+}  // namespace
+
 common::GlobalAddress Client::Alloc(size_t bytes, size_t align) {
+  if (mm_alloc_ != nullptr) {
+    // Managed path: the pool-wide size-class slab allocator. Chunk carves are the only part
+    // that costs an allocation RPC; local-free-list hits are CN-local and free.
+    int chunk_rpcs = 0;
+    const common::GlobalAddress addr = mm_alloc_->Alloc(&mm_cache_, bytes, align, &chunk_rpcs);
+    if (chunk_rpcs > 0) {
+      AdvanceSim(pool_->config().rpc_latency_ns * chunk_rpcs);
+    }
+    return addr;
+  }
   if (bytes > pool_->config().chunk_bytes) {
     // Oversized allocation (e.g. a bulk-loaded contiguous region): a dedicated RPC reserves
     // it directly on a memory node. Sizes stay 64-byte granular, so the allocation cursor —
     // and therefore every returned base — stays line-aligned.
     assert(align <= 64);
-    const uint16_t node_id = pool_->NextAllocNode();
-    const uint64_t base = pool_->node(node_id).AllocateChunk((bytes + 63) & ~size_t{63});
-    assert(base != 0 && "memory node region exhausted; raise region_bytes_per_mn");
+    const common::GlobalAddress addr = pool_->AllocateRaw((bytes + 63) & ~size_t{63});
+    if (addr.is_null()) {
+      ThrowExhaustedLegacy(bytes, pool_->num_nodes());
+    }
     AdvanceSim(pool_->config().rpc_latency_ns);
-    return common::GlobalAddress(node_id, base);
+    return addr;
   }
   size_t aligned_used = (chunk_used_ + align - 1) & ~(align - 1);
   if (chunk_base_.is_null() || aligned_used + bytes > chunk_size_) {
-    // Allocation RPC to a memory node (two-sided; the MN CPU only bumps a cursor).
-    const uint16_t node_id = pool_->NextAllocNode();
-    const uint64_t base = pool_->node(node_id).AllocateChunk(pool_->config().chunk_bytes);
-    assert(base != 0 && "memory node region exhausted; raise region_bytes_per_mn");
-    chunk_base_ = common::GlobalAddress(node_id, base);
+    // Allocation RPC to a memory node (two-sided; the MN CPU only bumps a cursor). Tries
+    // every node once; exhaustion of the whole pool is a first-class error instead of the
+    // old debug-only assert (which let release builds hand out offset 0 == Null).
+    const common::GlobalAddress base = pool_->AllocateRaw(pool_->config().chunk_bytes);
+    if (base.is_null()) {
+      ThrowExhaustedLegacy(bytes, pool_->num_nodes());
+    }
+    chunk_base_ = base;
     chunk_size_ = pool_->config().chunk_bytes;
     chunk_used_ = 0;
     aligned_used = 0;
@@ -294,7 +336,26 @@ common::GlobalAddress Client::Alloc(size_t bytes, size_t align) {
   return result;
 }
 
+void Client::Free(common::GlobalAddress addr, size_t bytes) {
+  if (mm_alloc_ == nullptr || addr.is_null()) {
+    return;
+  }
+  mm_alloc_->Free(&mm_cache_, addr, bytes);
+}
+
+void Client::Retire(common::GlobalAddress addr, size_t bytes) {
+  if (mm_epoch_ == nullptr || addr.is_null()) {
+    return;
+  }
+  mm_epoch_->Retire(epoch_slot_, addr, bytes);
+}
+
 void Client::BeginOp() {
+  // Pin the reclamation epoch for the whole bracket: any address this op reads optimistically
+  // stays allocated until the bracket closes, even if a concurrent writer retires it.
+  if (mm_epoch_ != nullptr && pin_depth_++ == 0) {
+    mm_epoch_->Pin(epoch_slot_);
+  }
   in_op_ = true;
   op_start_ns_ = sim_ns_;
   op_latency_ns_ = 0;
@@ -332,8 +393,16 @@ void Client::EndOp(OpType type) {
     trace_->Push(OpTypeName(type), obs::TraceCat::kOp, op_start_ns_, sim_ns_ - op_start_ns_,
                  pool_->ClockNow());
   }
+  if (mm_epoch_ != nullptr && pin_depth_ > 0 && --pin_depth_ == 0) {
+    mm_epoch_->Unpin(epoch_slot_);
+  }
 }
 
-void Client::AbortOp() { in_op_ = false; }
+void Client::AbortOp() {
+  in_op_ = false;
+  if (mm_epoch_ != nullptr && pin_depth_ > 0 && --pin_depth_ == 0) {
+    mm_epoch_->Unpin(epoch_slot_);
+  }
+}
 
 }  // namespace dmsim

@@ -15,6 +15,7 @@
 #include "src/dmsim/fault_injector.h"
 #include "src/dmsim/op_stats.h"
 #include "src/dmsim/pool.h"
+#include "src/mm/allocator.h"
 #include "src/obs/trace.h"
 
 namespace dmsim {
@@ -29,6 +30,8 @@ struct BatchEntry {
 class Client {
  public:
   Client(MemoryPool* pool, int client_id);
+  // Returns locally cached free blocks to the allocator and drops any leftover epoch pin.
+  ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -66,11 +69,29 @@ class Client {
   void ReadBatch(const std::vector<BatchEntry>& entries);
   void WriteBatch(const std::vector<BatchEntry>& entries);
 
-  // ---- Remote memory allocation ----------------------------------------------------------
+  // ---- Remote memory management ----------------------------------------------------------
 
-  // Allocates `bytes` of remote memory (aligned to `align`). Bump-allocates from the client's
-  // current 16 MB chunk; an exhausted chunk triggers one allocation RPC to a memory node.
+  // Allocates `bytes` of remote memory (aligned to `align`). Delegates to the pool's
+  // size-class slab allocator (src/mm/); with mm disabled, bump-allocates from the client's
+  // current 16 MB chunk, an exhausted chunk triggering one allocation RPC to a memory node.
+  // Either way exhaustion of the whole pool throws mm::OutOfMemory (a first-class error;
+  // `dmsim.alloc.exhausted` counts occurrences).
   common::GlobalAddress Alloc(size_t bytes, size_t align = 64);
+
+  // Returns a block to the allocator immediately. Only for blocks that were provably never
+  // published to remote memory (a racing reader cannot hold the address): allocated but
+  // unlinked, or a lost root-swing race. `bytes` must match the producing Alloc. No-op when
+  // mm is disabled.
+  void Free(common::GlobalAddress addr, size_t bytes);
+
+  // Defers the free of an unlinked-but-previously-reachable block until every epoch pinned
+  // right now has been released (epoch-based reclamation) — use for retired nodes and
+  // replaced out-of-place value blocks, where a concurrent optimistic reader may still hold
+  // the address. Call AFTER the unlink is published. No-op when mm is disabled.
+  void Retire(common::GlobalAddress addr, size_t bytes);
+
+  // This client's slot in the epoch manager (== its lease owner token); for tests.
+  uint32_t epoch_slot() const { return epoch_slot_; }
 
   // ---- Operation bracketing and stats ----------------------------------------------------
 
@@ -176,6 +197,15 @@ class Client {
   MemoryPool* pool_;
   int client_id_;
   std::unique_ptr<FaultInjector> injector_;
+
+  // Remote-memory management (null pointers when the pool runs with mm disabled).
+  mm::Allocator* mm_alloc_ = nullptr;
+  mm::EpochManager* mm_epoch_ = nullptr;
+  mm::ClientCache mm_cache_;
+  uint32_t epoch_slot_ = 0;
+  // BeginOp nesting depth; the epoch is pinned while > 0. Indexes occasionally bracket a
+  // sub-step inside an op (e.g. the var-len pre-write), so a plain bool would unpin early.
+  int pin_depth_ = 0;
 
   // Current chunk for bump allocation.
   common::GlobalAddress chunk_base_ = common::GlobalAddress::Null();

@@ -50,15 +50,22 @@ class MemoryNode {
     return region_ + offset;
   }
 
-  // MN-side chunk allocation (invoked via the client's allocation RPC). Chunks are never
-  // reclaimed, matching the log-structured chunk handling in Sherman/CHIME.
-  // Returns the chunk's base offset or 0 when the region is exhausted.
+  // MN-side chunk allocation (invoked via the client's allocation RPC). Raw chunks are never
+  // returned to the cursor; recycling happens above this layer, in mm::Allocator's
+  // free-chunk lists. Returns the chunk's base offset or 0 when the region is exhausted.
+  // CAS loop (not fetch_add) so a failed allocation does not overshoot the cursor:
+  // bytes_allocated() stays an exact account of carved region, which the bench reports.
   uint64_t AllocateChunk(size_t bytes) {
-    uint64_t base = alloc_cursor_.fetch_add(bytes, std::memory_order_relaxed);
-    if (base + bytes > region_bytes_) {
-      return 0;
+    uint64_t base = alloc_cursor_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (base + bytes > region_bytes_) {
+        return 0;
+      }
+      if (alloc_cursor_.compare_exchange_weak(base, base + bytes,
+                                              std::memory_order_relaxed)) {
+        return base;
+      }
     }
-    return base;
   }
 
   uint64_t bytes_allocated() const { return alloc_cursor_.load(std::memory_order_relaxed); }

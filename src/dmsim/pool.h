@@ -13,10 +13,12 @@
 #include "src/dmsim/fabric.h"
 #include "src/dmsim/memory_node.h"
 #include "src/dmsim/sim_config.h"
+#include "src/mm/allocator.h"
+#include "src/mm/epoch.h"
 
 namespace dmsim {
 
-class MemoryPool {
+class MemoryPool : public mm::ChunkSource {
  public:
   explicit MemoryPool(const SimConfig& config) : config_(config) {
     nodes_.reserve(static_cast<size_t>(config.num_memory_nodes));
@@ -26,7 +28,16 @@ class MemoryPool {
                                                     config.region_bytes_per_mn,
                                                     config.mn_nic));
     }
+    if (config_.mm.enabled) {
+      allocator_ = std::make_unique<mm::Allocator>(config_.mm, this);
+      epoch_ = std::make_unique<mm::EpochManager>(
+          config_.mm, [this](common::GlobalAddress addr, size_t bytes) {
+            allocator_->FreeCentral(addr, bytes);
+          });
+    }
   }
+
+  ~MemoryPool() override = default;
 
   const SimConfig& config() const { return config_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
@@ -43,6 +54,40 @@ class MemoryPool {
   uint16_t NextAllocNode() {
     return static_cast<uint16_t>(
         1 + next_alloc_node_.fetch_add(1, std::memory_order_relaxed) % nodes_.size());
+  }
+
+  // mm::ChunkSource: raw region carve behind the slab allocator. Tries every node once,
+  // starting at the round-robin cursor; Null means the whole pool is exhausted.
+  common::GlobalAddress AllocateRaw(size_t bytes) override {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const uint16_t node_id = NextAllocNode();
+      const uint64_t offset = node(node_id).AllocateChunk(bytes);
+      if (offset != 0) {
+        return common::GlobalAddress{node_id, offset};
+      }
+    }
+    return common::GlobalAddress::Null();
+  }
+  int NumNodes() const override { return static_cast<int>(nodes_.size()); }
+
+  // Null when mm.enabled=false (legacy bump-only allocation).
+  mm::Allocator* allocator() { return allocator_.get(); }
+  mm::EpochManager* epoch() { return epoch_.get(); }
+
+  struct MnMemory {
+    uint16_t node_id;
+    uint64_t bytes_allocated;  // region carved off the bump cursor (never returns)
+    uint64_t bytes_live;       // blocks checked out of the allocator (== allocated when mm off)
+  };
+  std::vector<MnMemory> MemoryUsage() const {
+    std::vector<MnMemory> out;
+    out.reserve(nodes_.size());
+    for (const auto& n : nodes_) {
+      const uint64_t allocated = n->bytes_allocated();
+      const uint64_t live = allocator_ ? allocator_->BytesLive(n->node_id()) : allocated;
+      out.push_back(MnMemory{n->node_id(), allocated, live});
+    }
+    return out;
   }
 
   // Aggregate NIC counters across all memory nodes.
@@ -80,9 +125,19 @@ class MemoryPool {
   // holder that outlives its lease can no longer land stale write-backs over state a
   // reclaimer has rebuilt. Fencing is permanent for the id, exactly like a revoked QP.
   void FenceOwner(uint64_t owner_token) {
-    std::lock_guard<std::mutex> lock(fence_mu_);
-    if (fenced_.insert(owner_token).second) {
-      fence_count_.fetch_add(1, std::memory_order_release);
+    bool newly_fenced = false;
+    {
+      std::lock_guard<std::mutex> lock(fence_mu_);
+      if (fenced_.insert(owner_token).second) {
+        fence_count_.fetch_add(1, std::memory_order_release);
+        newly_fenced = true;
+      }
+    }
+    // The fenced client can never issue another verb, so its pinned epoch (slot == owner
+    // token) would stall reclamation forever; force-expire it and adopt its defer list.
+    // Outside fence_mu_: ForceExpire takes its own locks and needs nothing fencing protects.
+    if (newly_fenced && epoch_ != nullptr && owner_token < mm::EpochManager::kMaxSlots) {
+      epoch_->ForceExpire(static_cast<uint32_t>(owner_token));
     }
   }
   bool IsFenced(uint64_t owner_token) const {
@@ -96,6 +151,10 @@ class MemoryPool {
  private:
   SimConfig config_;
   std::vector<std::unique_ptr<MemoryNode>> nodes_;
+  // Declaration order matters: epoch_ frees into allocator_ on teardown, so it must be
+  // destroyed first (members destruct in reverse declaration order).
+  std::unique_ptr<mm::Allocator> allocator_;
+  std::unique_ptr<mm::EpochManager> epoch_;
   std::atomic<uint64_t> next_alloc_node_{0};
   std::atomic<uint64_t> clock_{0};
   std::atomic<uint64_t> fence_count_{0};

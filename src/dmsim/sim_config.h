@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/mm/options.h"
+
 namespace dmsim {
 
 struct NicParams {
@@ -79,6 +81,10 @@ struct SimConfig {
   // Fault injection; off by default. Every Client constructed against a pool with any knob
   // nonzero gets its own seeded FaultInjector.
   FaultConfig fault;
+  // Remote-memory management (size-class slab allocator + epoch-based reclamation); on by
+  // default. mm.enabled=false reverts to the legacy bump-only allocation where nothing is
+  // ever freed.
+  mm::Options mm;
 };
 
 }  // namespace dmsim

@@ -1,0 +1,296 @@
+#include "src/mm/allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mm {
+
+int ClassForSize(size_t bytes) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (kClassBytes[c] >= bytes) {
+      return c;
+    }
+  }
+  return -1;
+}
+
+Allocator::Allocator(const Options& options, ChunkSource* source)
+    : options_(options),
+      source_(source),
+      bytes_live_(static_cast<size_t>(source->NumNodes()) + 1) {
+  for (auto& b : bytes_live_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  auto& reg = obs::MetricRegistry::Global();
+  allocs_ = reg.GetCounter("mm.alloc.allocs");
+  frees_ = reg.GetCounter("mm.alloc.frees");
+  slabs_carved_ = reg.GetCounter("mm.alloc.slabs_carved");
+  slabs_recycled_ = reg.GetCounter("mm.alloc.slabs_recycled");
+  chunk_rpcs_ctr_ = reg.GetCounter("mm.alloc.chunk_rpcs");
+  huge_allocs_ = reg.GetCounter("mm.alloc.huge_allocs");
+  stale_entries_ = reg.GetCounter("mm.alloc.stale_free_entries");
+  bytes_live_gauge_ = reg.RegisterGauge(
+      "mm.alloc.bytes_live", [this] { return static_cast<double>(BytesLiveTotal()); });
+}
+
+Allocator::~Allocator() = default;
+
+void Allocator::AddLive(uint16_t node_id, int64_t delta) {
+  assert(node_id < bytes_live_.size());
+  bytes_live_[node_id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Allocator::BytesLive(uint16_t node_id) const {
+  if (node_id >= bytes_live_.size()) {
+    return 0;
+  }
+  const int64_t v = bytes_live_[node_id].load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<uint64_t>(v) : 0;
+}
+
+uint64_t Allocator::BytesLiveTotal() const {
+  int64_t total = 0;
+  for (const auto& b : bytes_live_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total > 0 ? static_cast<uint64_t>(total) : 0;
+}
+
+void Allocator::ThrowExhausted(size_t bytes) {
+  // A first-class error with enough context to act on, instead of the old debug-only assert.
+  std::string what = "remote memory exhausted: request for " + std::to_string(bytes) +
+                     " bytes; every one of " + std::to_string(source_->NumNodes()) +
+                     " memory node(s) is full (bytes live: " +
+                     std::to_string(BytesLiveTotal()) +
+                     "). Raise region_bytes_per_mn, add memory nodes, or free/retire more.";
+  obs::MetricRegistry::Global().GetCounter("dmsim.alloc.exhausted")->Inc();
+  throw OutOfMemory(what);
+}
+
+common::GlobalAddress Allocator::Alloc(ClientCache* cache, size_t bytes, size_t align,
+                                       int* chunk_rpcs) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  allocs_->Inc();
+  assert(align <= 64 && "remote blocks are at most line-aligned");
+  // Honour the alignment through the size: rounding the request to a multiple of `align`
+  // always lands on a class that is itself a multiple of `align` (every ladder entry >= 64
+  // is 64-aligned, smaller ones 16-aligned). Callers that free pass layout-derived sizes
+  // that are already align-multiples, so their Free(bytes) recomputes the identical class;
+  // only alloc-only requests (root pointers, micro-bench scratch) are ever bumped here.
+  if (align > 1) {
+    bytes = (bytes + align - 1) / align * align;
+  }
+  const int cls = ClassForSize(bytes);
+  if (cls < 0 || kClassBytes[cls] > options_.max_block_bytes) {
+    return AllocHuge(bytes, chunk_rpcs);
+  }
+  assert(kClassBytes[cls] % align == 0 &&
+         "size class cannot honour the requested alignment; round the request up");
+  (void)align;
+  auto& local = cache->classes_[static_cast<size_t>(cls)];
+  if (!local.empty()) {
+    const uint64_t packed = local.back();
+    local.pop_back();
+    return common::GlobalAddress::Unpack(packed);
+  }
+
+  CentralClass& central = central_[static_cast<size_t>(cls)];
+  std::lock_guard<std::mutex> lock(central.mu);
+  const common::GlobalAddress first = TakeOneLocked(cls, central, chunk_rpcs);
+  if (first.is_null()) {
+    ThrowExhausted(bytes);
+  }
+  // Refill the local list while the lock is hot. Refill failure is not an error — the first
+  // block already satisfies the request.
+  const int refill = std::max(options_.refill_blocks - 1, 0);
+  for (int i = 0; i < refill; ++i) {
+    const common::GlobalAddress extra = TakeOneLocked(cls, central, chunk_rpcs);
+    if (extra.is_null()) {
+      break;
+    }
+    local.push_back(extra.Pack());
+  }
+  return first;
+}
+
+common::GlobalAddress Allocator::TakeOneLocked(int cls, CentralClass& central,
+                                               int* chunk_rpcs) {
+  const uint32_t block_bytes = kClassBytes[cls];
+  // 1) Central free list, dropping entries whose slab has been recycled since they were
+  //    pushed (their generation no longer matches).
+  while (!central.free_list.empty()) {
+    const FreeEntry e = central.free_list.back();
+    central.free_list.pop_back();
+    if (e.slab->gen != e.gen) {
+      stale_entries_->Inc();
+      continue;
+    }
+    e.slab->live++;
+    const common::GlobalAddress addr = common::GlobalAddress::Unpack(e.addr);
+    AddLive(addr.node_id, block_bytes);
+    return addr;
+  }
+  // 2) Carve from the active slab.
+  if (central.active != nullptr && central.active->carved < central.active->capacity) {
+    Slab* s = central.active;
+    const common::GlobalAddress addr = s->base + uint64_t{s->carved} * block_bytes;
+    s->carved++;
+    s->live++;
+    AddLive(addr.node_id, block_bytes);
+    return addr;
+  }
+  // 3) Start a new slab: reuse a recycled chunk when one of the right size exists, otherwise
+  //    carve raw region.
+  const size_t chunk_bytes = std::max(options_.slab_bytes, static_cast<size_t>(block_bytes));
+  common::GlobalAddress base = common::GlobalAddress::Null();
+  Slab* slab = nullptr;
+  {
+    std::lock_guard<std::mutex> chunk_lock(chunk_mu_);
+    auto it = free_chunks_.find(chunk_bytes);
+    if (it != free_chunks_.end() && !it->second.empty()) {
+      base = common::GlobalAddress::Unpack(it->second.back());
+      it->second.pop_back();
+    }
+    if (!slab_pool_.empty()) {
+      slab = slab_pool_.back();
+      slab_pool_.pop_back();
+    } else {
+      slab_storage_.push_back(std::make_unique<Slab>());
+      slab = slab_storage_.back().get();
+    }
+  }
+  if (base.is_null()) {
+    base = source_->AllocateRaw(chunk_bytes);
+    if (base.is_null()) {
+      std::lock_guard<std::mutex> chunk_lock(chunk_mu_);
+      slab_pool_.push_back(slab);
+      return common::GlobalAddress::Null();
+    }
+    if (chunk_rpcs != nullptr) {
+      (*chunk_rpcs)++;
+    }
+    chunk_rpcs_ctr_->Inc();
+  }
+  slab->base = base;
+  slab->chunk_bytes = static_cast<uint32_t>(chunk_bytes);
+  slab->block_bytes = block_bytes;
+  slab->capacity = static_cast<uint32_t>(chunk_bytes / block_bytes);
+  slab->carved = 1;
+  slab->live = 1;
+  // gen is preserved across reuse (monotonic per Slab object), so entries from a previous
+  // life can never match.
+  central.by_base[base.Pack()] = slab;
+  central.active = slab;
+  slabs_carved_->Inc();
+  AddLive(base.node_id, block_bytes);
+  return base;
+}
+
+void Allocator::Free(ClientCache* cache, common::GlobalAddress addr, size_t bytes) {
+  assert(!addr.is_null());
+  frees_->Inc();
+  const int cls = ClassForSize(bytes);
+  if (cls < 0 || kClassBytes[cls] > options_.max_block_bytes) {
+    FreeHuge(addr, bytes);
+    return;
+  }
+  auto& local = cache->classes_[static_cast<size_t>(cls)];
+  local.push_back(addr.Pack());
+  const size_t cap = static_cast<size_t>(std::max(options_.local_cache_blocks, 1));
+  if (local.size() > cap) {
+    // Flush the older half so the local list keeps its hottest blocks.
+    const size_t flush = local.size() / 2;
+    for (size_t i = 0; i < flush; ++i) {
+      FreeBlockCentral(cls, common::GlobalAddress::Unpack(local[i]));
+    }
+    local.erase(local.begin(), local.begin() + static_cast<long>(flush));
+  }
+}
+
+void Allocator::FreeCentral(common::GlobalAddress addr, size_t bytes) {
+  assert(!addr.is_null());
+  frees_->Inc();
+  const int cls = ClassForSize(bytes);
+  if (cls < 0 || kClassBytes[cls] > options_.max_block_bytes) {
+    FreeHuge(addr, bytes);
+    return;
+  }
+  FreeBlockCentral(cls, addr);
+}
+
+void Allocator::Flush(ClientCache* cache) {
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    auto& local = cache->classes_[static_cast<size_t>(cls)];
+    for (const uint64_t packed : local) {
+      FreeBlockCentral(cls, common::GlobalAddress::Unpack(packed));
+    }
+    local.clear();
+  }
+}
+
+void Allocator::FreeBlockCentral(int cls, common::GlobalAddress addr) {
+  CentralClass& central = central_[static_cast<size_t>(cls)];
+  std::lock_guard<std::mutex> lock(central.mu);
+  // Owner lookup: greatest slab base <= addr.
+  auto it = central.by_base.upper_bound(addr.Pack());
+  assert(it != central.by_base.begin() && "freed block belongs to no slab of this class");
+  --it;
+  Slab* slab = it->second;
+  assert(addr.node_id == slab->base.node_id &&
+         addr.offset >= slab->base.offset &&
+         addr.offset < slab->base.offset + slab->chunk_bytes &&
+         "freed block outside its slab: size/class mismatch with the original Alloc?");
+  assert((addr.offset - slab->base.offset) % slab->block_bytes == 0 &&
+         "freed address is not a block boundary of its slab");
+  assert(slab->live > 0);
+  slab->live--;
+  AddLive(addr.node_id, -static_cast<int64_t>(slab->block_bytes));
+  if (slab->live == 0 && slab->carved == slab->capacity && slab != central.active) {
+    // Every block of a fully-carved slab is centrally free: recycle the whole chunk. The
+    // free-list entries still pointing into it die by generation mismatch.
+    slab->gen++;
+    central.by_base.erase(it);
+    std::lock_guard<std::mutex> chunk_lock(chunk_mu_);
+    free_chunks_[slab->chunk_bytes].push_back(slab->base.Pack());
+    slab_pool_.push_back(slab);
+    slabs_recycled_->Inc();
+  } else {
+    central.free_list.push_back(FreeEntry{addr.Pack(), slab, slab->gen});
+  }
+}
+
+common::GlobalAddress Allocator::AllocHuge(size_t bytes, int* chunk_rpcs) {
+  const size_t rounded = (bytes + 63) & ~size_t{63};
+  huge_allocs_->Inc();
+  {
+    std::lock_guard<std::mutex> lock(huge_mu_);
+    auto it = huge_free_.find(rounded);
+    if (it != huge_free_.end()) {
+      const common::GlobalAddress addr = common::GlobalAddress::Unpack(it->second);
+      huge_free_.erase(it);
+      AddLive(addr.node_id, static_cast<int64_t>(rounded));
+      return addr;
+    }
+  }
+  const common::GlobalAddress addr = source_->AllocateRaw(rounded);
+  if (addr.is_null()) {
+    ThrowExhausted(bytes);
+  }
+  if (chunk_rpcs != nullptr) {
+    (*chunk_rpcs)++;
+  }
+  chunk_rpcs_ctr_->Inc();
+  AddLive(addr.node_id, static_cast<int64_t>(rounded));
+  return addr;
+}
+
+void Allocator::FreeHuge(common::GlobalAddress addr, size_t bytes) {
+  const size_t rounded = (bytes + 63) & ~size_t{63};
+  std::lock_guard<std::mutex> lock(huge_mu_);
+  huge_free_.emplace(rounded, addr.Pack());
+  AddLive(addr.node_id, -static_cast<int64_t>(rounded));
+}
+
+}  // namespace mm

@@ -1,0 +1,193 @@
+// Size-class slab allocator for remote memory.
+//
+// Layered on the raw MN chunk carve (mm::ChunkSource, implemented by dmsim::MemoryPool):
+//
+//   region --AllocateRaw--> slabs (one size class each) --carve--> blocks
+//
+// Clients allocate blocks from a per-client local free list (no synchronization; models the
+// CN-local free lists real DM allocators keep), refilled from a central per-class structure:
+// a free-block list plus one active slab being carved. Freed blocks return to the local list
+// and overflow back to the central list. A slab whose blocks are all centrally free is
+// recycled whole onto a per-MN free-chunk list and its identity generation is bumped, so the
+// chunk can be re-carved for a different size class; stale central free-list entries are
+// dropped lazily at pop via the generation check.
+//
+// Explicit API contract: Free(addr, bytes) must pass the same byte count as the Alloc that
+// produced `addr` (all call sites allocate layout-derived constant sizes, so this is natural).
+// Metadata lives host-side, standing in for the CN-coordinated or MN-offloaded state a real
+// deployment keeps; the remote region itself only ever holds user bytes.
+//
+// Thread safety: ClientCache is single-owner (one per dmsim::Client, which is already
+// single-threaded); everything else is internally synchronized.
+#ifndef SRC_MM_ALLOCATOR_H_
+#define SRC_MM_ALLOCATOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/mm/options.h"
+#include "src/obs/metrics.h"
+
+namespace mm {
+
+// Thrown when every memory node's region is exhausted. First-class: allocation failure used
+// to be a debug-only assert deep in the bump path.
+class OutOfMemory : public std::runtime_error {
+ public:
+  explicit OutOfMemory(const std::string& what) : std::runtime_error(what) {}
+};
+
+// The raw-region carve interface the allocator sits on. dmsim::MemoryPool implements it by
+// round-robining the chunk-allocation RPC across memory nodes; Null() means every node is
+// exhausted.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+  virtual common::GlobalAddress AllocateRaw(size_t bytes) = 0;
+  virtual int NumNodes() const = 0;
+};
+
+// The size-class ladder: 16-byte steps keep tiny allocations (SMART's 16-byte leaves, 8-byte
+// root pointers) dense, 64-byte steps match the line-granular node sizes, and a sparse
+// geometric tail covers big nodes. Every entry is a multiple of 16 and entries >= 64 are
+// multiples of 64, so blocks inherit the alignment every current caller asks for.
+inline constexpr uint32_t kClassBytes[] = {
+    16,   32,   48,   64,   128,  192,  256,  320,   384,   448,   512,
+    576,  640,  704,  768,  832,  896,  960,  1024,  1536,  2048,  3072,
+    4096, 6144, 8192, 12288, 16384, 24576, 32768, 49152, 65536};
+inline constexpr int kNumClasses = static_cast<int>(std::size(kClassBytes));
+
+// Smallest class whose block size holds `bytes`; -1 when the request exceeds the ladder
+// (the caller takes the huge path). Deliberately a function of `bytes` alone so that
+// Free(addr, bytes) recomputes exactly the class Alloc used; Alloc asserts that the chosen
+// class satisfies the requested alignment (true for every multiple-of-16 request <= 48 and
+// every line-sized request, i.e. all current callers).
+int ClassForSize(size_t bytes);
+
+// Per-client block caches, one vector of packed GlobalAddresses per size class. Owned by the
+// client (embedded in dmsim::Client) and only ever touched by its thread.
+class ClientCache {
+ public:
+  ClientCache() = default;
+  ClientCache(const ClientCache&) = delete;
+  ClientCache& operator=(const ClientCache&) = delete;
+
+  size_t TotalBlocks() const {
+    size_t n = 0;
+    for (const auto& c : classes_) {
+      n += c.size();
+    }
+    return n;
+  }
+
+ private:
+  friend class Allocator;
+  std::array<std::vector<uint64_t>, kNumClasses> classes_;
+};
+
+class Allocator {
+ public:
+  Allocator(const Options& options, ChunkSource* source);
+  ~Allocator();
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  // Allocates a block of at least `bytes` aligned to `align` (<= 64). `*chunk_rpcs` is
+  // incremented once per raw region carve performed, so the caller can charge the
+  // allocation-RPC latency. Throws OutOfMemory when the region cannot satisfy the request.
+  common::GlobalAddress Alloc(ClientCache* cache, size_t bytes, size_t align,
+                              int* chunk_rpcs);
+
+  // Returns a block to the caller's local free list (overflow flushes to central).
+  void Free(ClientCache* cache, common::GlobalAddress addr, size_t bytes);
+
+  // Frees directly to the central structures — the epoch manager's reclaim path, which runs
+  // without a client context.
+  void FreeCentral(common::GlobalAddress addr, size_t bytes);
+
+  // Returns every locally cached block to the central lists (client teardown).
+  void Flush(ClientCache* cache);
+
+  // Bytes checked out of the central structures (allocated to callers or sitting in client
+  // caches), per memory node / total. The complement of `MemoryNode::bytes_allocated()`,
+  // which also counts carved-but-free slab space.
+  uint64_t BytesLive(uint16_t node_id) const;
+  uint64_t BytesLiveTotal() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Slab {
+    common::GlobalAddress base;
+    uint32_t chunk_bytes = 0;  // raw bytes this slab occupies (returned on recycle)
+    uint32_t block_bytes = 0;
+    uint32_t capacity = 0;
+    uint32_t carved = 0;  // blocks bump-carved out of the slab so far
+    uint32_t live = 0;    // carved blocks not currently on the central free list
+    uint64_t gen = 0;     // bumped on recycle; invalidates outstanding free-list entries
+  };
+
+  struct FreeEntry {
+    uint64_t addr;  // packed GlobalAddress
+    Slab* slab;
+    uint64_t gen;
+  };
+
+  struct CentralClass {
+    std::mutex mu;
+    std::vector<FreeEntry> free_list;
+    Slab* active = nullptr;  // slab currently being carved (null until first use)
+    // base (packed) -> slab, for O(log n) owner lookup on Free.
+    std::map<uint64_t, Slab*> by_base;
+  };
+
+  // Pops/carves one block for `cls` with the class lock held. Returns Null when a new slab
+  // is needed but the region is exhausted.
+  common::GlobalAddress TakeOneLocked(int cls, CentralClass& central, int* chunk_rpcs);
+  void FreeBlockCentral(int cls, common::GlobalAddress addr);
+  common::GlobalAddress AllocHuge(size_t bytes, int* chunk_rpcs);
+  void FreeHuge(common::GlobalAddress addr, size_t bytes);
+  void AddLive(uint16_t node_id, int64_t delta);
+  [[noreturn]] void ThrowExhausted(size_t bytes);
+
+  Options options_;
+  ChunkSource* source_;
+
+  std::array<CentralClass, kNumClasses> central_;
+
+  // Whole-chunk recycling: chunk size -> packed base addresses, shared by all classes (and
+  // the huge path for its own sizes). Guarded by chunk_mu_.
+  std::mutex chunk_mu_;
+  std::map<size_t, std::vector<uint64_t>> free_chunks_;
+  std::vector<std::unique_ptr<Slab>> slab_storage_;  // owns every Slab ever created
+  std::vector<Slab*> slab_pool_;                     // recycled Slab objects for reuse
+
+  std::mutex huge_mu_;
+  std::multimap<size_t, uint64_t> huge_free_;  // rounded size -> packed base
+
+  // Per-node live-byte accounting (index = node_id; node ids start at 1).
+  std::vector<std::atomic<int64_t>> bytes_live_;
+
+  // Observability (process-global registry; see DESIGN.md §9/§10).
+  obs::Counter* allocs_;
+  obs::Counter* frees_;
+  obs::Counter* slabs_carved_;
+  obs::Counter* slabs_recycled_;
+  obs::Counter* chunk_rpcs_ctr_;
+  obs::Counter* huge_allocs_;
+  obs::Counter* stale_entries_;
+  obs::GaugeHandle bytes_live_gauge_;
+};
+
+}  // namespace mm
+
+#endif  // SRC_MM_ALLOCATOR_H_

@@ -1,0 +1,232 @@
+#include "src/mm/epoch.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mm {
+
+EpochManager::EpochManager(const Options& options, FreeFn free_fn)
+    : options_(options), free_fn_(std::move(free_fn)), slots_(kMaxSlots) {
+  auto& reg = obs::MetricRegistry::Global();
+  retired_ = reg.GetCounter("mm.epoch.retired");
+  reclaimed_ = reg.GetCounter("mm.epoch.reclaimed");
+  advances_ = reg.GetCounter("mm.epoch.advances");
+  force_expired_ = reg.GetCounter("mm.epoch.force_expired");
+  defer_gauge_ = reg.RegisterGauge("mm.epoch.defer_depth",
+                                   [this] { return static_cast<double>(DeferDepth()); });
+  lag_gauge_ = reg.RegisterGauge("mm.epoch.lag",
+                                 [this] { return static_cast<double>(EpochLag()); });
+  global_gauge_ = reg.RegisterGauge("mm.epoch.global",
+                                    [this] { return static_cast<double>(GlobalEpoch()); });
+}
+
+EpochManager::~EpochManager() {
+  // Pool teardown: every client is gone, so everything deferred is safe by definition.
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    for (const DeferEntry& e : slot.defers) {
+      free_fn_(common::GlobalAddress::Unpack(e.addr), e.bytes);
+      reclaimed_->Inc();
+    }
+    slot.defers.clear();
+  }
+  std::lock_guard<std::mutex> lock(orphan_mu_);
+  for (const DeferEntry& e : orphans_) {
+    free_fn_(common::GlobalAddress::Unpack(e.addr), e.bytes);
+    reclaimed_->Inc();
+  }
+  orphans_.clear();
+}
+
+void EpochManager::Pin(uint32_t slot_id) {
+  assert(slot_id < kMaxSlots);
+  Slot& slot = slots_[slot_id];
+  if (slot.dead.load()) {
+    return;
+  }
+  // Store-then-recheck: publish the pin, then confirm the epoch did not move past us while
+  // we were publishing (a concurrent TryAdvance may have missed our store).
+  for (;;) {
+    const uint64_t e = global_.load();
+    slot.pinned.store(e);
+    if (slot.dead.load()) {
+      // Lost a race with ForceExpire; leave the slot unpinned so reclamation never waits on
+      // a fenced client.
+      slot.pinned.store(0);
+      return;
+    }
+    if (global_.load() == e) {
+      return;
+    }
+  }
+}
+
+void EpochManager::Unpin(uint32_t slot_id) {
+  assert(slot_id < kMaxSlots);
+  Slot& slot = slots_[slot_id];
+  slot.pinned.store(0, std::memory_order_release);
+  if (++slot.unpins_since_reclaim >= 64) {
+    slot.unpins_since_reclaim = 0;
+    TryAdvance();
+    const uint64_t safe = SafeBefore();
+    ReclaimSlot(slot, safe);
+    ReclaimOrphans(safe);
+  }
+}
+
+bool EpochManager::IsPinned(uint32_t slot_id) const {
+  assert(slot_id < kMaxSlots);
+  return slots_[slot_id].pinned.load(std::memory_order_acquire) != 0;
+}
+
+void EpochManager::Retire(uint32_t slot_id, common::GlobalAddress addr, size_t bytes) {
+  assert(slot_id < kMaxSlots);
+  assert(!addr.is_null());
+  retired_->Inc();
+  Slot& slot = slots_[slot_id];
+  const DeferEntry entry{addr.Pack(), bytes, global_.load(std::memory_order_acquire)};
+  if (slot.dead.load()) {
+    // A fenced client can race a Retire in before it observes the fence; park the block on
+    // the orphan list so it is not stranded behind a dead slot.
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    orphans_.push_back(entry);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.defers.push_back(entry);
+  }
+  if (++slot.retires_since_reclaim >= static_cast<uint32_t>(std::max(options_.reclaim_batch, 1))) {
+    slot.retires_since_reclaim = 0;
+    TryAdvance();
+    const uint64_t safe = SafeBefore();
+    ReclaimSlot(slot, safe);
+    ReclaimOrphans(safe);
+  }
+}
+
+void EpochManager::ForceExpire(uint32_t slot_id) {
+  if (slot_id >= kMaxSlots) {
+    return;
+  }
+  Slot& slot = slots_[slot_id];
+  if (slot.dead.exchange(true)) {
+    return;  // already expired
+  }
+  force_expired_->Inc();
+  slot.pinned.store(0);
+  // Adopt the corpse's defer list: surviving clients drain the orphan list on their own
+  // reclaim cadence.
+  std::vector<DeferEntry> adopted;
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    adopted.swap(slot.defers);
+  }
+  if (!adopted.empty()) {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    orphans_.insert(orphans_.end(), adopted.begin(), adopted.end());
+  }
+}
+
+void EpochManager::ReclaimAll() {
+  TryAdvance();
+  const uint64_t safe = SafeBefore();
+  for (auto& slot : slots_) {
+    ReclaimSlot(slot, safe);
+  }
+  ReclaimOrphans(safe);
+}
+
+uint64_t EpochManager::SafeBefore() const {
+  const uint64_t global = global_.load(std::memory_order_acquire);
+  uint64_t oldest = 0;
+  for (const auto& slot : slots_) {
+    const uint64_t p = slot.pinned.load(std::memory_order_acquire);
+    if (p != 0 && (oldest == 0 || p < oldest)) {
+      oldest = p;
+    }
+  }
+  // A block retired at epoch e was unlinked before its stamp was taken, so a reader pinned
+  // at e' > e cannot have seen it: everything stamped < oldest-pin is safe. With nothing
+  // pinned, everything up to and including the current epoch is safe.
+  return oldest != 0 ? oldest : global + 1;
+}
+
+void EpochManager::TryAdvance() {
+  const uint64_t global = global_.load(std::memory_order_acquire);
+  for (const auto& slot : slots_) {
+    const uint64_t p = slot.pinned.load(std::memory_order_acquire);
+    if (p != 0 && p < global) {
+      return;  // someone is still reading in an older epoch
+    }
+  }
+  uint64_t expected = global;
+  if (global_.compare_exchange_strong(expected, global + 1)) {
+    advances_->Inc();
+  }
+}
+
+void EpochManager::ReclaimSlot(Slot& slot, uint64_t safe_before) {
+  std::vector<DeferEntry> ready;
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    auto keep = slot.defers.begin();
+    for (auto it = slot.defers.begin(); it != slot.defers.end(); ++it) {
+      if (it->epoch < safe_before) {
+        ready.push_back(*it);
+      } else {
+        *keep++ = *it;
+      }
+    }
+    slot.defers.erase(keep, slot.defers.end());
+  }
+  for (const DeferEntry& e : ready) {
+    free_fn_(common::GlobalAddress::Unpack(e.addr), e.bytes);
+    reclaimed_->Inc();
+  }
+}
+
+void EpochManager::ReclaimOrphans(uint64_t safe_before) {
+  std::vector<DeferEntry> ready;
+  {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    auto keep = orphans_.begin();
+    for (auto it = orphans_.begin(); it != orphans_.end(); ++it) {
+      if (it->epoch < safe_before) {
+        ready.push_back(*it);
+      } else {
+        *keep++ = *it;
+      }
+    }
+    orphans_.erase(keep, orphans_.end());
+  }
+  for (const DeferEntry& e : ready) {
+    free_fn_(common::GlobalAddress::Unpack(e.addr), e.bytes);
+    reclaimed_->Inc();
+  }
+}
+
+uint64_t EpochManager::DeferDepth() const {
+  uint64_t n = 0;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    n += slot.defers.size();
+  }
+  std::lock_guard<std::mutex> lock(orphan_mu_);
+  n += orphans_.size();
+  return n;
+}
+
+uint64_t EpochManager::EpochLag() const {
+  const uint64_t global = global_.load(std::memory_order_acquire);
+  uint64_t oldest = 0;
+  for (const auto& slot : slots_) {
+    const uint64_t p = slot.pinned.load(std::memory_order_acquire);
+    if (p != 0 && (oldest == 0 || p < oldest)) {
+      oldest = p;
+    }
+  }
+  return oldest == 0 ? 0 : global - oldest;
+}
+
+}  // namespace mm

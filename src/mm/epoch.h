@@ -1,0 +1,122 @@
+// Epoch-based reclamation for remote blocks.
+//
+// Readers pin the global epoch for the duration of an optimistic traversal (dmsim::Client
+// pins in BeginOp, unpins in EndOp/AbortOp). A writer that unlinks a block calls
+// Retire(slot, addr, bytes): the free is deferred onto the retiring client's list, stamped
+// with the global epoch read *after* the unlink was published. A deferred block is handed to
+// the underlying allocator only once every pinned epoch is strictly newer than its stamp —
+// at that point no traversal that could have obtained the address is still in flight, so the
+// "CAS into a concurrently retired node" windows become safe by construction.
+//
+// Slots are identified by dmsim::Lease::OwnerToken(client_id) so the crash machinery can
+// force-expire a fenced client's pin by the same token it fences QPs with: ForceExpire marks
+// the slot dead (subsequent pins no-op), clears the pin, and adopts the dead client's defer
+// list into an orphan list that surviving clients drain — reclamation never stalls on a
+// corpse.
+//
+// All state is host-side (the CN-coordinated metadata of a real deployment); only the freed
+// blocks themselves live in remote memory.
+#ifndef SRC_MM_EPOCH_H_
+#define SRC_MM_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/mm/options.h"
+#include "src/obs/metrics.h"
+
+namespace mm {
+
+class EpochManager {
+ public:
+  // How a reclaimed block is returned to the allocator. Runs with no client context, so it
+  // must target the central free lists (Allocator::FreeCentral).
+  using FreeFn = std::function<void(common::GlobalAddress, size_t)>;
+
+  // Slots cover every Lease::OwnerToken a pool can mint: tokens are kOwnerBits=14 bits, and
+  // crash tortures really do burn thousands of ids (every reboot takes a fresh one), so the
+  // table spans the full token space rather than assuming small ids. ~3 MB per pool.
+  static constexpr uint32_t kMaxSlots = 1u << 14;
+
+  EpochManager(const Options& options, FreeFn free_fn);
+  // Drains every remaining deferred block (pool teardown: no traversal can be in flight).
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Pins `slot` at the current global epoch. No-op on a dead (force-expired) slot. Only the
+  // slot's owning thread may call Pin/Unpin/Retire.
+  void Pin(uint32_t slot);
+  void Unpin(uint32_t slot);
+  bool IsPinned(uint32_t slot) const;
+
+  // Defers freeing `addr` until every epoch pinned at call time has been released. Call
+  // *after* the unlink of `addr` is published (CAS/write completed) — the stamp is only
+  // valid then.
+  void Retire(uint32_t slot, common::GlobalAddress addr, size_t bytes);
+
+  // Crash path: invalidate a fenced client's pin and adopt its defer list. Idempotent; safe
+  // from any thread; tokens >= kMaxSlots are ignored (they cannot have a slot).
+  void ForceExpire(uint32_t slot);
+
+  // Advances the epoch if possible and drains everything currently safe (all slots plus the
+  // orphan list). Used by tests, teardown, and the soak's steady-state check.
+  void ReclaimAll();
+
+  uint64_t GlobalEpoch() const { return global_.load(std::memory_order_acquire); }
+  // Total deferred blocks across all slots and the orphan list.
+  uint64_t DeferDepth() const;
+  // Distance between the global epoch and the oldest pin (0 when nothing is pinned).
+  uint64_t EpochLag() const;
+
+ private:
+  struct DeferEntry {
+    uint64_t addr;  // packed GlobalAddress
+    uint64_t bytes;
+    uint64_t epoch;  // global epoch when retired
+  };
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> pinned{0};  // 0 = not pinned
+    std::atomic<bool> dead{false};
+    // Owner-thread cadence counters (no concurrent access).
+    uint32_t retires_since_reclaim = 0;
+    uint32_t unpins_since_reclaim = 0;
+    mutable std::mutex mu;
+    std::vector<DeferEntry> defers;
+  };
+
+  // First epoch that is NOT yet safe to reclaim: the oldest pinned epoch, or global+1 when
+  // nothing is pinned. Entries stamped < SafeBefore() are freed.
+  uint64_t SafeBefore() const;
+  // Bumps the global epoch when no slot is pinned behind it.
+  void TryAdvance();
+  void ReclaimSlot(Slot& slot, uint64_t safe_before);
+  void ReclaimOrphans(uint64_t safe_before);
+
+  Options options_;
+  FreeFn free_fn_;
+
+  std::atomic<uint64_t> global_{1};
+  std::vector<Slot> slots_;
+
+  mutable std::mutex orphan_mu_;
+  std::vector<DeferEntry> orphans_;
+
+  obs::Counter* retired_;
+  obs::Counter* reclaimed_;
+  obs::Counter* advances_;
+  obs::Counter* force_expired_;
+  obs::GaugeHandle defer_gauge_;
+  obs::GaugeHandle lag_gauge_;
+  obs::GaugeHandle global_gauge_;
+};
+
+}  // namespace mm
+
+#endif  // SRC_MM_EPOCH_H_

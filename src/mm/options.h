@@ -1,0 +1,42 @@
+// Knobs of the remote-memory management subsystem (size-class slab allocator +
+// epoch-based reclamation). Owned by dmsim::SimConfig so every pool-attached client sees the
+// same policy; see DESIGN.md §10 for the protocol description.
+#ifndef SRC_MM_OPTIONS_H_
+#define SRC_MM_OPTIONS_H_
+
+#include <cstddef>
+
+namespace mm {
+
+struct Options {
+  // Master switch. When false the clients fall back to the legacy bump-only chunk allocation
+  // (nothing is ever freed; Free/Retire become no-ops) — kept so the exhaustion behaviour of
+  // the unmanaged path stays demonstrable.
+  bool enabled = true;
+
+  // Bytes carved from a memory node per slab. Every slab belongs to exactly one size class;
+  // a size class larger than this uses one chunk per block. Recycled whole slabs return to a
+  // per-MN free-chunk list keyed by this size.
+  size_t slab_bytes = 256 << 10;
+
+  // Largest block served from a size class. Requests above this are "huge": allocated as a
+  // dedicated region carve and recycled through an exact-size free list.
+  size_t max_block_bytes = 64 << 10;
+
+  // Per-client, per-class free-list capacity. A client frees into its local list without
+  // synchronization; overflow flushes half of the list to the central free list (where the
+  // blocks become visible to slab recycling and to other clients).
+  int local_cache_blocks = 32;
+
+  // How many blocks a client grabs from the central structures per refill (amortizes the
+  // central lock over the hot path).
+  int refill_blocks = 8;
+
+  // Epoch manager cadence: attempt a global-epoch advance plus a defer-list drain every this
+  // many Retire() calls per client (and every 64 unpins).
+  int reclaim_batch = 32;
+};
+
+}  // namespace mm
+
+#endif  // SRC_MM_OPTIONS_H_

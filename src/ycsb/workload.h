@@ -41,6 +41,11 @@ inline WorkloadMix WorkloadD() {
 }
 inline WorkloadMix WorkloadE() { return {"E", 0, 0, 0.05, 0.95}; }
 inline WorkloadMix WorkloadLoad() { return {"LOAD", 0, 0, 1.0, 0}; }
+// Update/churn mix (not a YCSB core workload): sustained value rewrites plus enough inserts
+// to keep splitting. In indirect/var-len mode every update writes a fresh out-of-place block
+// and unlinks the old one, so this is the workload that exercises allocator recycling and
+// epoch-based reclamation; without reclamation its memory footprint grows without bound.
+inline WorkloadMix WorkloadChurn() { return {"CHURN", 0.10, 0.70, 0.20, 0}; }
 
 // Maps dense logical ids to scrambled, unique, non-zero keys (Mix64 is a 64-bit bijection).
 class KeySpace {

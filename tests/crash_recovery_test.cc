@@ -31,6 +31,7 @@
 #include "src/baselines/smart.h"
 #include "src/common/rand.h"
 #include "src/core/tree.h"
+#include "src/dmsim/lease.h"
 #include "src/dmsim/pool.h"
 
 namespace chime {
@@ -284,6 +285,73 @@ TEST(CrashRecoveryTest, ChimeSurvivesKillsAtEveryCrashPoint) {
     ASSERT_TRUE(tree.Search(checker, k, &got));
     EXPECT_EQ(got, k + 7);
   }
+
+  // Epoch reclamation ran under the same torture (splits retire their old nodes), and it
+  // quiesces: with every worker gone and every crashed client's pin dropped (destructor on
+  // reboot, ForceExpire on fence), nothing stays deferred.
+  pool.epoch()->ReclaimAll();
+  EXPECT_EQ(pool.epoch()->DeferDepth(), 0u)
+      << "retired blocks stranded behind a dead client's epoch pin";
+}
+
+// A crashed-but-never-rebooted client (a stalled CN: no destructor, no replacement) keeps its
+// epoch pinned — ClientCrashed unwinds past EndOp by design. Retired blocks must pile up
+// behind that pin (freeing them under a live pin would be unsound) until the lease-takeover
+// machinery fences the corpse, which force-expires the pin; then reclamation drains fully.
+TEST(CrashRecoveryTest, CrashedClientsPinnedEpochIsForceExpired) {
+  dmsim::SimConfig cfg;
+  cfg.region_bytes_per_mn = 64ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  cfg.fault.seed = 99;
+  cfg.fault.crash_post_lock_prob = 1.0;  // the next lock acquisition is fatal
+  dmsim::MemoryPool pool(cfg);
+
+  ChimeOptions options;
+  options.crash_recovery = true;
+  options.lease_duration = 1024;
+  ChimeTree tree(&pool, options);
+
+  dmsim::Client loader(&pool, 0);
+  ASSERT_NE(loader.injector(), nullptr);
+  loader.injector()->set_enabled(false);
+  for (common::Key k = 1; k <= 200; ++k) {
+    tree.Insert(loader, k, k);
+  }
+
+  dmsim::Client zombie(&pool, 1);
+  EXPECT_THROW(tree.Update(zombie, 77, 1234), dmsim::ClientCrashed);
+  EXPECT_TRUE(pool.epoch()->IsPinned(zombie.epoch_slot()))
+      << "the crash unwound through EndOp; the zombie scenario is vacuous";
+
+  // A survivor's retired block is stuck behind the zombie's abandoned pin.
+  dmsim::Client survivor(&pool, 2);
+  survivor.injector()->set_enabled(false);
+  survivor.BeginOp();
+  const common::GlobalAddress block = survivor.Alloc(64, 8);
+  survivor.Retire(block, 64);
+  survivor.EndOp(dmsim::OpType::kOther);
+  pool.epoch()->ReclaimAll();
+  EXPECT_GE(pool.epoch()->DeferDepth(), 1u) << "a retired block was freed under a live pin";
+
+  // Recovery sweeps drive the zombie's lease to expiry; the takeover fences its owner token
+  // (QP revocation), and the fence force-expires the pin.
+  RecoverUntilClean(tree, survivor);
+  EXPECT_TRUE(pool.IsFenced(dmsim::Lease::OwnerToken(1)))
+      << "no lease takeover happened; the zombie's lock was never reclaimed";
+  EXPECT_FALSE(pool.epoch()->IsPinned(zombie.epoch_slot()));
+
+  pool.epoch()->ReclaimAll();
+  EXPECT_EQ(pool.epoch()->DeferDepth(), 0u);
+
+  // The tree is intact and fully operational again; the crashed update either landed or not.
+  std::string why;
+  EXPECT_TRUE(tree.ValidateStructure(survivor, &why)) << why;
+  common::Value v = 0;
+  ASSERT_TRUE(tree.Search(survivor, 77, &v));
+  EXPECT_TRUE(v == 77 || v == 1234) << v;
+  tree.Insert(survivor, 999, 1000);
+  ASSERT_TRUE(tree.Search(survivor, 999, &v));
+  EXPECT_EQ(v, 1000);
 }
 
 // Regression: AbandonLeafLock (the VerbError error path, crash_recovery off) must bump the

@@ -1,0 +1,363 @@
+// Tests for the remote-memory management subsystem (src/mm/): the size-class slab
+// allocator, epoch-based reclamation, their dmsim::Client integration, and first-class
+// exhaustion errors on both the managed and the legacy bump-only paths.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/dmsim/client.h"
+#include "src/dmsim/lease.h"
+#include "src/dmsim/pool.h"
+#include "src/mm/allocator.h"
+#include "src/mm/epoch.h"
+#include "src/obs/metrics.h"
+
+namespace mm {
+namespace {
+
+dmsim::SimConfig SmallConfig() {
+  dmsim::SimConfig cfg;
+  cfg.num_memory_nodes = 1;
+  cfg.region_bytes_per_mn = 32ULL << 20;
+  cfg.chunk_bytes = 1ULL << 20;
+  return cfg;
+}
+
+double CounterValue(const std::string& name) {
+  auto snap = obs::MetricRegistry::Global().Scrape();
+  auto it = snap.find(name);
+  return it == snap.end() ? 0.0 : it->second;
+}
+
+// ---- Size-class ladder -------------------------------------------------------------------
+
+TEST(ClassLadderTest, MonotoneAndCoversEveryRequest) {
+  for (int i = 1; i < kNumClasses; ++i) {
+    EXPECT_LT(kClassBytes[i - 1], kClassBytes[i]);
+  }
+  for (size_t bytes = 1; bytes <= kClassBytes[kNumClasses - 1]; bytes += 7) {
+    const int cls = ClassForSize(bytes);
+    ASSERT_GE(cls, 0) << bytes;
+    EXPECT_GE(kClassBytes[cls], bytes);
+    if (cls > 0) {
+      EXPECT_LT(kClassBytes[cls - 1], bytes);  // smallest class that fits
+    }
+  }
+  EXPECT_EQ(ClassForSize(kClassBytes[kNumClasses - 1] + 1), -1);  // huge path
+}
+
+TEST(ClassLadderTest, ClassesSatisfyCallerAlignments) {
+  // Every class is 16-aligned and every class >= 64 is 64-aligned, which is what keeps
+  // ClassForSize a function of bytes alone (Free recomputes it without the align).
+  for (int i = 0; i < kNumClasses; ++i) {
+    EXPECT_EQ(kClassBytes[i] % 16, 0u);
+    if (kClassBytes[i] >= 64) {
+      EXPECT_EQ(kClassBytes[i] % 64, 0u);
+    }
+  }
+}
+
+// ---- Allocator ---------------------------------------------------------------------------
+
+TEST(AllocatorTest, FreeThenAllocReusesTheBlock) {
+  dmsim::MemoryPool pool(SmallConfig());
+  Allocator* alloc = pool.allocator();
+  ASSERT_NE(alloc, nullptr);
+  ClientCache cache;
+  int rpcs = 0;
+  const common::GlobalAddress a = alloc->Alloc(&cache, 64, 64, &rpcs);
+  alloc->Free(&cache, a, 64);
+  const common::GlobalAddress b = alloc->Alloc(&cache, 64, 64, &rpcs);
+  EXPECT_EQ(a.Pack(), b.Pack());  // local free list is LIFO
+  alloc->Free(&cache, b, 64);
+  alloc->Flush(&cache);
+}
+
+TEST(AllocatorTest, BytesLiveTracksAllocAndCentralFree) {
+  dmsim::MemoryPool pool(SmallConfig());
+  Allocator* alloc = pool.allocator();
+  ClientCache cache;
+  int rpcs = 0;
+  const uint64_t before = alloc->BytesLiveTotal();
+  std::vector<common::GlobalAddress> blocks;
+  for (int i = 0; i < 100; ++i) {
+    blocks.push_back(alloc->Alloc(&cache, 128, 8, &rpcs));
+  }
+  EXPECT_GE(alloc->BytesLiveTotal(), before + 100 * 128);
+  for (const auto& a : blocks) {
+    alloc->Free(&cache, a, 128);
+  }
+  // Blocks parked in the client cache still count as checked out; flushing them back to
+  // central returns bytes_live to the baseline.
+  alloc->Flush(&cache);
+  EXPECT_EQ(alloc->BytesLiveTotal(), before);
+}
+
+TEST(AllocatorTest, DistinctAddressesAndAlignment) {
+  dmsim::MemoryPool pool(SmallConfig());
+  Allocator* alloc = pool.allocator();
+  ClientCache cache;
+  int rpcs = 0;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const common::GlobalAddress a = alloc->Alloc(&cache, 48, 16, &rpcs);
+    EXPECT_EQ(a.offset % 16, 0u);
+    EXPECT_TRUE(seen.insert(a.Pack()).second) << "duplicate live block";
+  }
+}
+
+TEST(AllocatorTest, WholeSlabRecyclesToOtherClasses) {
+  dmsim::SimConfig cfg = SmallConfig();
+  cfg.mm.slab_bytes = 4096;  // tiny slabs so one test fills and drains several
+  dmsim::MemoryPool pool(cfg);
+  Allocator* alloc = pool.allocator();
+  ClientCache cache;
+  int rpcs = 0;
+  const double recycled_before = CounterValue("mm.alloc.slabs_recycled");
+  // Fill several 64-byte slabs completely, then free every block.
+  std::vector<common::GlobalAddress> blocks;
+  for (int i = 0; i < 4096 / 64 * 3; ++i) {
+    blocks.push_back(alloc->Alloc(&cache, 64, 64, &rpcs));
+  }
+  for (const auto& a : blocks) {
+    alloc->Free(&cache, a, 64);
+  }
+  alloc->Flush(&cache);
+  // Pull from a different class: fully-free 64-byte slabs should recycle their chunks
+  // rather than strand them on the old class.
+  for (int i = 0; i < 4096 / 1024 * 2; ++i) {
+    alloc->Alloc(&cache, 1024, 64, &rpcs);
+  }
+  EXPECT_GT(CounterValue("mm.alloc.slabs_recycled"), recycled_before);
+}
+
+TEST(AllocatorTest, HugePathRoundTripsAndReuses) {
+  dmsim::MemoryPool pool(SmallConfig());
+  Allocator* alloc = pool.allocator();
+  ClientCache cache;
+  int rpcs = 0;
+  const size_t huge = (64u << 10) + 4096;  // beyond the ladder
+  const uint64_t before = alloc->BytesLiveTotal();
+  const common::GlobalAddress a = alloc->Alloc(&cache, huge, 64, &rpcs);
+  EXPECT_GT(alloc->BytesLiveTotal(), before);
+  alloc->Free(&cache, a, huge);
+  EXPECT_EQ(alloc->BytesLiveTotal(), before);
+  const common::GlobalAddress b = alloc->Alloc(&cache, huge, 64, &rpcs);
+  EXPECT_EQ(a.Pack(), b.Pack());  // exact-size free list reuses the region
+}
+
+// ---- Exhaustion is a first-class error ---------------------------------------------------
+
+TEST(ExhaustionTest, ManagedPathThrowsOutOfMemoryWithDiagnostic) {
+  dmsim::SimConfig cfg;
+  cfg.num_memory_nodes = 1;
+  cfg.region_bytes_per_mn = 256 << 10;
+  cfg.chunk_bytes = 64 << 10;
+  dmsim::MemoryPool pool(cfg);
+  dmsim::Client c(&pool, 0);
+  const double before = CounterValue("dmsim.alloc.exhausted");
+  c.BeginOp();
+  auto drain = [&] {
+    for (int i = 0; i < 1000; ++i) {
+      c.Alloc(32 << 10, 64);
+    }
+  };
+  try {
+    drain();
+    FAIL() << "expected OutOfMemory";
+  } catch (const OutOfMemory& e) {
+    EXPECT_NE(std::string(e.what()).find("exhausted"), std::string::npos);
+  }
+  c.AbortOp();
+  EXPECT_GT(CounterValue("dmsim.alloc.exhausted"), before);
+}
+
+TEST(ExhaustionTest, LegacyBumpPathThrowsInsteadOfSpinning) {
+  dmsim::SimConfig cfg;
+  cfg.num_memory_nodes = 2;
+  cfg.region_bytes_per_mn = 256 << 10;
+  cfg.chunk_bytes = 64 << 10;
+  cfg.mm.enabled = false;  // legacy bump-only path
+  dmsim::MemoryPool pool(cfg);
+  EXPECT_EQ(pool.allocator(), nullptr);
+  dmsim::Client c(&pool, 0);
+  const double before = CounterValue("dmsim.alloc.exhausted");
+  c.BeginOp();
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1000; ++i) {
+          c.Alloc(32 << 10, 64);
+        }
+      },
+      OutOfMemory);
+  c.AbortOp();
+  EXPECT_GT(CounterValue("dmsim.alloc.exhausted"), before);
+}
+
+// ---- Epoch-based reclamation -------------------------------------------------------------
+
+struct RecordingFree {
+  std::vector<std::pair<uint64_t, size_t>> freed;
+  EpochManager::FreeFn Fn() {
+    return [this](common::GlobalAddress a, size_t b) { freed.emplace_back(a.Pack(), b); };
+  }
+};
+
+common::GlobalAddress Addr(uint64_t offset) {
+  common::GlobalAddress a;
+  a.node_id = 1;
+  a.offset = offset;
+  return a;
+}
+
+TEST(EpochTest, RetireWithoutReadersReclaimsImmediately) {
+  Options opt;
+  RecordingFree rec;
+  EpochManager epochs(opt, rec.Fn());
+  epochs.Retire(2, Addr(0x100), 64);
+  EXPECT_EQ(epochs.DeferDepth(), 1u);
+  epochs.ReclaimAll();
+  ASSERT_EQ(rec.freed.size(), 1u);
+  EXPECT_EQ(rec.freed[0].second, 64u);
+  EXPECT_EQ(epochs.DeferDepth(), 0u);
+}
+
+TEST(EpochTest, PinnedReaderHoldsRetiredBlock) {
+  Options opt;
+  RecordingFree rec;
+  EpochManager epochs(opt, rec.Fn());
+  epochs.Pin(2);  // a reader mid-traversal
+  EXPECT_TRUE(epochs.IsPinned(2));
+  epochs.Retire(3, Addr(0x200), 128);  // a writer unlinks a block the reader may hold
+  epochs.ReclaimAll();
+  EXPECT_TRUE(rec.freed.empty()) << "freed under a live pin";
+  EXPECT_GE(epochs.EpochLag(), 0u);
+  epochs.Unpin(2);
+  epochs.ReclaimAll();
+  ASSERT_EQ(rec.freed.size(), 1u);
+  EXPECT_EQ(rec.freed[0].first, Addr(0x200).Pack());
+}
+
+TEST(EpochTest, LatePinDoesNotResurrectOlderRetirement) {
+  Options opt;
+  RecordingFree rec;
+  EpochManager epochs(opt, rec.Fn());
+  epochs.Retire(3, Addr(0x300), 64);
+  epochs.ReclaimAll();           // block already reclaimed
+  epochs.Pin(2);                 // a pin taken afterwards
+  epochs.Retire(3, Addr(0x400), 64);
+  epochs.ReclaimAll();
+  ASSERT_EQ(rec.freed.size(), 1u);  // only the pre-pin retirement was freed
+  epochs.Unpin(2);
+  epochs.ReclaimAll();
+  EXPECT_EQ(rec.freed.size(), 2u);
+}
+
+TEST(EpochTest, ForceExpireClearsPinAndAdoptsDefers) {
+  Options opt;
+  RecordingFree rec;
+  EpochManager epochs(opt, rec.Fn());
+  epochs.Pin(5);
+  epochs.Retire(5, Addr(0x500), 64);  // the client retired, then "crashed" before unpin
+  epochs.ForceExpire(5);
+  EXPECT_FALSE(epochs.IsPinned(5));
+  epochs.Pin(5);  // dead slot: pin is a no-op, cannot wedge reclamation again
+  EXPECT_FALSE(epochs.IsPinned(5));
+  epochs.ReclaimAll();
+  ASSERT_EQ(rec.freed.size(), 1u) << "orphaned defer list was not drained";
+  // Retire routed at a dead slot still lands in the orphan list, not a corpse.
+  epochs.Retire(5, Addr(0x600), 64);
+  epochs.ReclaimAll();
+  EXPECT_EQ(rec.freed.size(), 2u);
+}
+
+TEST(EpochTest, DestructorDrainsEverything) {
+  Options opt;
+  RecordingFree rec;
+  {
+    EpochManager epochs(opt, rec.Fn());
+    epochs.Pin(2);
+    epochs.Retire(3, Addr(0x700), 64);
+    epochs.Retire(3, Addr(0x740), 64);
+    // Teardown with a pin still set: pool destruction means no traversal is really in
+    // flight, so everything must drain rather than leak.
+  }
+  EXPECT_EQ(rec.freed.size(), 2u);
+}
+
+// ---- Client integration ------------------------------------------------------------------
+
+TEST(ClientIntegrationTest, BeginOpPinsAndEndOpUnpins) {
+  dmsim::MemoryPool pool(SmallConfig());
+  ASSERT_NE(pool.epoch(), nullptr);
+  dmsim::Client c(&pool, 0);
+  EXPECT_FALSE(pool.epoch()->IsPinned(c.epoch_slot()));
+  c.BeginOp();
+  EXPECT_TRUE(pool.epoch()->IsPinned(c.epoch_slot()));
+  c.EndOp(dmsim::OpType::kOther);
+  EXPECT_FALSE(pool.epoch()->IsPinned(c.epoch_slot()));
+  c.BeginOp();
+  c.AbortOp();
+  EXPECT_FALSE(pool.epoch()->IsPinned(c.epoch_slot()));
+}
+
+TEST(ClientIntegrationTest, RetireReturnsBytesToAllocatorAfterOps) {
+  dmsim::MemoryPool pool(SmallConfig());
+  dmsim::Client c(&pool, 0);
+  c.BeginOp();
+  const common::GlobalAddress a = c.Alloc(64, 8);
+  const uint64_t live_with_block = pool.allocator()->BytesLiveTotal();
+  c.Retire(a, 64);  // deferred: our own op is still pinned
+  c.EndOp(dmsim::OpType::kOther);
+  pool.epoch()->ReclaimAll();
+  EXPECT_LT(pool.allocator()->BytesLiveTotal(), live_with_block);
+}
+
+TEST(ClientIntegrationTest, FenceOwnerForceExpiresThePinnedEpoch) {
+  dmsim::MemoryPool pool(SmallConfig());
+  auto c = std::make_unique<dmsim::Client>(&pool, 0);
+  const uint32_t slot = c->epoch_slot();
+  c->BeginOp();
+  EXPECT_TRUE(pool.epoch()->IsPinned(slot));
+  // The crash path: lease expiry fences the owner's verbs AND force-expires its pin, so a
+  // corpse cannot stall reclamation for every surviving client.
+  pool.FenceOwner(dmsim::Lease::OwnerToken(0));
+  EXPECT_FALSE(pool.epoch()->IsPinned(slot));
+  // A block retired by a survivor now reclaims despite the corpse's abandoned op.
+  dmsim::Client survivor(&pool, 1);
+  survivor.BeginOp();
+  const common::GlobalAddress b = survivor.Alloc(64, 8);
+  const uint64_t live_before = pool.allocator()->BytesLiveTotal();
+  survivor.Retire(b, 64);
+  survivor.EndOp(dmsim::OpType::kOther);
+  pool.epoch()->ReclaimAll();
+  EXPECT_LT(pool.allocator()->BytesLiveTotal(), live_before);
+  c.reset();  // the fenced client's dtor must tolerate its already-expired slot
+}
+
+TEST(ClientIntegrationTest, MemoryUsageReportsPerNodeLiveBytes) {
+  dmsim::SimConfig cfg = SmallConfig();
+  cfg.num_memory_nodes = 2;
+  dmsim::MemoryPool pool(cfg);
+  dmsim::Client c(&pool, 0);
+  c.BeginOp();
+  for (int i = 0; i < 64; ++i) {
+    c.Alloc(1024, 64);
+  }
+  c.EndOp(dmsim::OpType::kOther);
+  const auto usage = pool.MemoryUsage();
+  ASSERT_EQ(usage.size(), 2u);
+  uint64_t live_total = 0;
+  for (const auto& mn : usage) {
+    EXPECT_LE(mn.bytes_live, mn.bytes_allocated);
+    live_total += mn.bytes_live;
+  }
+  EXPECT_GE(live_total, 64u * 1024u);
+}
+
+}  // namespace
+}  // namespace mm
